@@ -1,0 +1,62 @@
+#pragma once
+// Shared scenario factories for the bench binaries.
+//
+// Quick-by-default: benches run a reduced sweep (3 topologies × 150 s)
+// so `for b in build/bench/*; do $b; done` finishes in minutes. Paper
+// scale (10 topologies × 400 s, Section 4.1) via MESH_BENCH_FULL=1 or the
+// MESH_BENCH_TOPOLOGIES / MESH_BENCH_DURATION_S overrides. The testbed
+// benches always run at full scale (8 nodes is cheap).
+
+#include <cstdio>
+
+#include "mesh/harness/experiment.hpp"
+#include "mesh/harness/report.hpp"
+#include "mesh/harness/scenario.hpp"
+#include "mesh/testbed/loss_link_model.hpp"
+
+namespace mesh::bench {
+
+inline constexpr std::size_t kQuickTopologies = 3;
+inline constexpr std::int64_t kQuickDurationS = 150;
+
+// The Section 4.1 scenario: 50 nodes, 1000 m², Rayleigh, 2 groups × 10
+// members, 1 source each (unless overridden), CBR 512 B × 20 pkt/s.
+inline harness::ScenarioConfig simulationScenario(std::uint64_t topologySeed,
+                                                  std::size_t sourcesPerGroup = 1,
+                                                  bool rayleigh = true) {
+  harness::ScenarioConfig config = harness::paperSimulationScenario();
+  config.rayleighFading = rayleigh;
+  Rng groupRng = Rng{topologySeed}.fork("groups");
+  config.groups = harness::makeRandomGroups(config.nodeCount, 2, 10,
+                                            sourcesPerGroup, groupRng);
+  return config;
+}
+
+// The Section 5 testbed scenario: Purdue floor, 2 groups (src 2 -> {3,5};
+// src 4 -> {1,7}), CBR 512 B × 20 pkt/s, 400 s.
+inline harness::ScenarioConfig testbedScenario(std::uint64_t runSeed) {
+  harness::ScenarioConfig config;
+  config.nodeCount = testbed::kNodeCount;
+  config.duration = SimTime::seconds(std::int64_t{400});
+  config.traffic.payloadBytes = 512;
+  config.traffic.packetsPerSecond = 20.0;
+  config.traffic.start = SimTime::seconds(std::int64_t{30});
+  config.traffic.stop = SimTime::seconds(std::int64_t{400});
+  config.seed = runSeed;
+  config.fixedPositions = testbed::Floorplan::positions();
+  config.linkModelFactory = [](sim::Simulator& simulator, Rng& rng) {
+    return testbed::makePurdueFloorModel(simulator, testbed::LossModelParams{},
+                                         rng);
+  };
+  for (const auto& group : testbed::Floorplan::paperGroups()) {
+    config.groups.push_back(
+        harness::GroupSpec{group.group, group.sources, group.members});
+  }
+  return config;
+}
+
+inline void printPaperReference(const char* what, const char* values) {
+  std::printf("\npaper reference — %s:\n  %s\n", what, values);
+}
+
+}  // namespace mesh::bench

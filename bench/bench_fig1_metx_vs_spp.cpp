@@ -1,0 +1,68 @@
+// Figure 1 — SPP vs METX on the paper's 4-node example.
+//
+// Two candidate paths from A to D. METX minimizes the expected *total*
+// number of transmissions along the path; SPP minimizes the expected
+// number of transmissions at the *source* (maximizes the probability the
+// packet crosses end-to-end in one go). The example shows them disagree —
+// and a small simulation on the same topology confirms SPP's choice
+// delivers more packets.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mesh/phy/static_link_model.hpp"
+
+namespace {
+
+double pathCost(const mesh::metrics::Metric& metric,
+                std::initializer_list<double> dfs) {
+  double cost = metric.initialPathCost();
+  for (double df : dfs) {
+    mesh::metrics::LinkMeasurement m;
+    m.df = df;
+    cost = metric.accumulate(cost, metric.linkCost(m));
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const auto metx = metrics::makeMetric(metrics::MetricKind::Metx);
+  const auto spp = metrics::makeMetric(metrics::MetricKind::Spp);
+
+  // Figure 1: A-C-D has forward delivery ratios {1, 1/3}; A-B-D {0.25, 1}.
+  const double metxAcd = pathCost(*metx, {1.0, 1.0 / 3.0});
+  const double metxAbd = pathCost(*metx, {0.25, 1.0});
+  const double sppAcd = pathCost(*spp, {1.0, 1.0 / 3.0});
+  const double sppAbd = pathCost(*spp, {0.25, 1.0});
+
+  std::printf("Figure 1 — METX vs SPP path choice\n");
+  std::printf("%-8s  %8s  %8s\n", "path", "METX", "1/SPP");
+  std::printf("%-8s  %8.2f  %8.2f\n", "A-C-D", metxAcd, 1.0 / sppAcd);
+  std::printf("%-8s  %8.2f  %8.2f\n", "A-B-D", metxAbd, 1.0 / sppAbd);
+  std::printf("METX picks %s; SPP picks %s\n",
+              metx->better(metxAbd, metxAcd) ? "A-B-D" : "A-C-D",
+              spp->better(sppAcd, sppAbd) ? "A-C-D" : "A-B-D");
+
+  // Empirical check: Monte-Carlo the two paths under a broadcast link
+  // layer (one shot per hop, source repeats until first hop succeeds is
+  // NOT available — a packet gets exactly one end-to-end attempt).
+  Rng rng{7};
+  const int kTrials = 200000;
+  int viaAcd = 0, viaAbd = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    viaAcd += rng.bernoulli(1.0) && rng.bernoulli(1.0 / 3.0);
+    viaAbd += rng.bernoulli(0.25) && rng.bernoulli(1.0);
+  }
+  std::printf("\nMonte-Carlo end-to-end delivery per source transmission:\n");
+  std::printf("  A-C-D %.4f (analytic %.4f)\n", viaAcd / double(kTrials), sppAcd);
+  std::printf("  A-B-D %.4f (analytic %.4f)\n", viaAbd / double(kTrials), sppAbd);
+  std::printf("SPP's choice delivers %.2fx more per source transmission\n",
+              sppAcd / sppAbd);
+  printPaperReference("Figure 1", "METX: A-C-D 6, A-B-D 5; 1/SPP: A-C-D 3, A-B-D 4");
+  return 0;
+}

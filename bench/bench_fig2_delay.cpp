@@ -1,0 +1,29 @@
+// Figure 2, column "Delay".
+//
+// Same scenario as Throughput-simulations; reports mean end-to-end delay
+// normalized to the original ODMRP. Paper: SPP and ETX achieve the lowest
+// delays among the metric variants (low probing overhead -> less channel
+// contention per hop); ETT and PP pay for their heavy packet pairs. All
+// metric variants trade some delay for throughput versus plain ODMRP,
+// whose shortest-hop paths are fast when they work at all.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const harness::BenchOptions options =
+      harness::BenchOptions::fromEnvironment(kQuickTopologies, kQuickDurationS);
+
+  const auto rows = harness::runProtocolComparison(
+      harness::figure2Protocols(),
+      [](std::uint64_t seed) { return simulationScenario(seed); }, options);
+
+  harness::printNormalizedDelay("Figure 2 — Delay (normalized to ODMRP)", rows);
+  harness::printAbsolute("absolute values", rows);
+  printPaperReference(
+      "Figure 2, Delay",
+      "SPP and ETX lowest among the metrics; PP and ETT penalized by probe overhead");
+  return 0;
+}

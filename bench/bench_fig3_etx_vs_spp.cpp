@@ -1,0 +1,90 @@
+// Figure 3 — SPP vs ETX on the paper's 5-node example.
+//
+// ETX sums per-link expected transmission counts, which under a broadcast
+// link layer (no retransmissions!) understates the damage of a single
+// very lossy link. SPP's product form makes one bad link poison the whole
+// path. The bench prints the metric table and then validates the claim
+// end-to-end: the same topology is simulated through the full stack with
+// both metrics and the delivered fractions compared.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mesh/phy/static_link_model.hpp"
+
+namespace {
+
+double pathCost(const mesh::metrics::Metric& metric,
+                std::initializer_list<double> dfs) {
+  double cost = metric.initialPathCost();
+  for (double df : dfs) {
+    mesh::metrics::LinkMeasurement m;
+    m.df = df;
+    cost = metric.accumulate(cost, metric.linkCost(m));
+  }
+  return cost;
+}
+
+mesh::harness::ScenarioConfig figure3Scenario(std::uint64_t seed) {
+  using namespace mesh;
+  // Nodes: A=0, B=1, C=2, D=3, E=4. Path A-B-C-D: 0.8 each; A-E-D: 0.9, 0.4.
+  harness::ScenarioConfig config;
+  config.nodeCount = 5;
+  config.seed = seed;
+  config.duration = SimTime::seconds(std::int64_t{400});
+  config.traffic.payloadBytes = 512;
+  config.traffic.packetsPerSecond = 20.0;
+  config.traffic.start = SimTime::seconds(std::int64_t{60});
+  config.traffic.stop = SimTime::seconds(std::int64_t{400});
+  config.groups = {harness::GroupSpec{1, {0}, {3}}};
+  config.linkModelFactory = [](sim::Simulator&, Rng&) {
+    auto model = std::make_unique<phy::StaticLinkModel>(5);
+    const double kPower = 1e-8;
+    auto link = [&](net::NodeId a, net::NodeId b, double df) {
+      model->setSymmetric(a, b, kPower);
+      model->setSymmetricLossRate(a, b, 1.0 - df);
+    };
+    link(0, 1, 0.8);
+    link(1, 2, 0.8);
+    link(2, 3, 0.8);
+    link(0, 4, 0.9);
+    link(4, 3, 0.4);
+    return model;
+  };
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const auto etx = metrics::makeMetric(metrics::MetricKind::Etx);
+  const auto spp = metrics::makeMetric(metrics::MetricKind::Spp);
+
+  const double etxLong = pathCost(*etx, {0.8, 0.8, 0.8});
+  const double etxShort = pathCost(*etx, {0.9, 0.4});
+  const double sppLong = pathCost(*spp, {0.8, 0.8, 0.8});
+  const double sppShort = pathCost(*spp, {0.9, 0.4});
+
+  std::printf("Figure 3 — ETX vs SPP path choice\n");
+  std::printf("%-10s  %8s  %8s\n", "path", "ETX", "SPP");
+  std::printf("%-10s  %8.2f  %8.3f\n", "A-B-C-D", etxLong, sppLong);
+  std::printf("%-10s  %8.2f  %8.3f\n", "A-E-D", etxShort, sppShort);
+  std::printf("ETX picks %s; SPP picks %s\n",
+              etx->better(etxShort, etxLong) ? "A-E-D" : "A-B-C-D",
+              spp->better(sppLong, sppShort) ? "A-B-C-D" : "A-E-D");
+
+  std::printf("\nfull-stack simulation on the same topology (source A, member D):\n");
+  for (const auto kind : {metrics::MetricKind::Etx, metrics::MetricKind::Spp}) {
+    harness::ScenarioConfig config = figure3Scenario(11);
+    config.protocol = harness::ProtocolSpec::with(kind);
+    harness::Simulation sim{std::move(config)};
+    const auto results = sim.run();
+    std::printf("  ODMRP_%-5s PDR %.4f\n", metrics::toString(kind), results.pdr);
+  }
+  printPaperReference("Figure 3",
+                      "ETX: 3.75 vs 3.61 (picks lossy A-E-D); SPP: 0.512 vs 0.36 (avoids it)");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Microbenchmarks of the simulator's hot paths (google-benchmark).
+//
+// These are engineering benches, not paper experiments: they track the
+// cost of the primitives the 29-million-event Figure 2 runs are made of.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/metrics/loss_window.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/metrics/neighbor_table.hpp"
+#include "mesh/odmrp/messages.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/phy/fading.hpp"
+#include "mesh/phy/link_model.hpp"
+#include "mesh/phy/propagation.hpp"
+#include "mesh/sim/event_queue.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace {
+
+using namespace mesh;
+using namespace mesh::time_literals;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng{1};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push(SimTime::nanoseconds(t + rng.uniformInt(std::int64_t{0},
+                                                         std::int64_t{1000000})),
+                 [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto popped = queue.pop();
+      benchmark::DoNotOptimize(popped.time);
+      t = popped.time.ns();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule(SimTime::microseconds(std::int64_t{i}), [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.eventsExecuted());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng{2};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RayleighGain(benchmark::State& state) {
+  Rng rng{3};
+  phy::RayleighFading fading;
+  for (auto _ : state) benchmark::DoNotOptimize(fading.powerGain(rng));
+}
+BENCHMARK(BM_RayleighGain);
+
+void BM_TwoRayPropagation(benchmark::State& state) {
+  phy::PhyParams params;
+  phy::TwoRayGroundModel model;
+  double d = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.rxPowerW(params, {0, 0}, {d, 0}));
+    d = d < 1000.0 ? d + 1.0 : 10.0;
+  }
+}
+BENCHMARK(BM_TwoRayPropagation);
+
+void BM_MetricAccumulate(benchmark::State& state) {
+  const auto metric =
+      metrics::makeMetric(static_cast<metrics::MetricKind>(state.range(0)));
+  metrics::LinkMeasurement m;
+  m.df = 0.7;
+  m.hasDelay = true;
+  m.delayS = 0.005;
+  m.hasBandwidth = true;
+  m.bandwidthBps = 1.5e6;
+  for (auto _ : state) {
+    double cost = metric->initialPathCost();
+    for (int hop = 0; hop < 8; ++hop) {
+      cost = metric->accumulate(cost, metric->linkCost(m));
+    }
+    benchmark::DoNotOptimize(cost);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_MetricAccumulate)
+    ->Arg(static_cast<int>(metrics::MetricKind::Etx))
+    ->Arg(static_cast<int>(metrics::MetricKind::Metx))
+    ->Arg(static_cast<int>(metrics::MetricKind::Spp))
+    ->Arg(static_cast<int>(metrics::MetricKind::Pp));
+
+void BM_LossWindowUpdateAndQuery(benchmark::State& state) {
+  metrics::LossWindow window{10};
+  std::uint32_t seq = 0;
+  SimTime t = SimTime::zero();
+  for (auto _ : state) {
+    window.onProbe(seq++, t);
+    t += 5_s;
+    benchmark::DoNotOptimize(window.df(t, 5_s));
+  }
+}
+BENCHMARK(BM_LossWindowUpdateAndQuery);
+
+void BM_NeighborTableProbe(benchmark::State& state) {
+  metrics::NeighborTable table{5_s};
+  std::uint32_t seq = 0;
+  SimTime t = SimTime::zero();
+  for (auto _ : state) {
+    metrics::ProbeMessage probe;
+    probe.type = metrics::ProbeType::Single;
+    probe.sender = static_cast<net::NodeId>(seq % 30);
+    probe.seq = seq / 30;
+    table.onProbe(probe, t);
+    ++seq;
+    t += 100_ms;
+    benchmark::DoNotOptimize(
+        table.measure(static_cast<net::NodeId>(seq % 30), t).df);
+  }
+}
+BENCHMARK(BM_NeighborTableProbe);
+
+void BM_JoinQuerySerializeParse(benchmark::State& state) {
+  odmrp::JoinQuery query;
+  query.group = 1;
+  query.source = 10;
+  query.seq = 1234;
+  query.hopCount = 3;
+  query.prevHop = 7;
+  query.pathCost = 0.456;
+  for (auto _ : state) {
+    const auto bytes = query.serialize();
+    benchmark::DoNotOptimize(odmrp::JoinQuery::parse(bytes));
+  }
+}
+BENCHMARK(BM_JoinQuerySerializeParse);
+
+void BM_ChannelBroadcastFanout(benchmark::State& state) {
+  // 50 radios in the paper's area; one broadcast per iteration.
+  sim::Simulator simulator;
+  phy::PhyParams params;
+  std::vector<Vec2> positions;
+  Rng place{5};
+  for (int i = 0; i < 50; ++i) {
+    positions.push_back({place.uniform(0, 1000), place.uniform(0, 1000)});
+  }
+  auto model = std::make_unique<phy::GeometricLinkModel>(
+      params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+      std::make_unique<phy::RayleighFading>());
+  phy::Channel channel{simulator, std::move(model), Rng{6}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (int i = 0; i < 50; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        simulator, static_cast<net::NodeId>(i), params));
+    channel.attach(*radios.back());
+  }
+  auto frame = phy::makeFrame(std::vector<std::uint8_t>(540, 0), nullptr);
+  const SimTime airtime = params.frameAirtime(540);
+  std::size_t tx = 0;
+  for (auto _ : state) {
+    radios[tx % 50]->transmit(frame, airtime);
+    ++tx;
+    simulator.run();  // drain all arrivals
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelBroadcastFanout);
+
+}  // namespace
+
+BENCHMARK_MAIN();

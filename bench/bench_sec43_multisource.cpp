@@ -1,0 +1,54 @@
+// Section 4.3 — multiple sources per group.
+//
+// ODMRP builds forwarding groups per *group*, not per source, so extra
+// sources thicken the mesh; the added path redundancy compensates for the
+// original ODMRP's poor path choices and shrinks the metrics' relative
+// gain. Paper: with multiple sources the relative throughput gain drops
+// by around 10-15% (e.g. a +18% gain becomes roughly +3..8%).
+//
+// This bench runs the simulation scenario with 1 source and with 3
+// sources per group and prints the gains side by side.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const harness::BenchOptions options =
+      harness::BenchOptions::fromEnvironment(kQuickTopologies, kQuickDurationS);
+
+  // 3 sources/group at 20 pkt/s each would overload a 2 Mbps broadcast
+  // channel (the paper notes the effective load is already ~7x the source
+  // rate); the per-source rate is split so the offered load matches the
+  // single-source columns and only the *mesh redundancy* changes.
+  const auto single = harness::runProtocolComparison(
+      harness::figure2Protocols(),
+      [](std::uint64_t seed) { return simulationScenario(seed, 1); }, options);
+
+  const auto multi = harness::runProtocolComparison(
+      harness::figure2Protocols(),
+      [](std::uint64_t seed) {
+        harness::ScenarioConfig config = simulationScenario(seed, 3);
+        config.traffic.packetsPerSecond = 20.0 / 3.0;
+        return config;
+      },
+      options);
+
+  harness::printNormalizedThroughput("1 source per group", single);
+  harness::printNormalizedThroughput("3 sources per group", multi);
+
+  std::printf("\nrelative gain shrinkage (gain_multi - gain_single, percentage points)\n");
+  for (std::size_t i = 1; i < single.size(); ++i) {
+    const double gainSingle =
+        (single[i].pdr.mean() / single[0].pdr.mean() - 1.0) * 100.0;
+    const double gainMulti =
+        (multi[i].pdr.mean() / multi[0].pdr.mean() - 1.0) * 100.0;
+    std::printf("  %-6s  %+5.1f%% -> %+5.1f%%   (%+.1f pp)\n",
+                single[i].name.c_str(), gainSingle, gainMulti,
+                gainMulti - gainSingle);
+  }
+  printPaperReference("Section 4.3",
+                      "relative throughput gain reduced by ~10-15 percentage points");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 1 — comparative probing overhead.
+//
+// "Percentage of bytes from probe packets out of the total number of data
+// bytes received", measured over the Throughput-simulations scenario.
+//
+// Paper: ETT 3.03, ETX 0.66, METX 0.61, PP 2.54, SPP 0.53.
+//
+// The ~5x gap between the packet-pair metrics (PP, ETT) and the
+// single-probe metrics (ETX, METX, SPP) follows from the probe schedule:
+// (137+1137) B / 10 s versus 137 B / 5 s.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const harness::BenchOptions options =
+      harness::BenchOptions::fromEnvironment(kQuickTopologies, kQuickDurationS);
+
+  const auto rows = harness::runProtocolComparison(
+      harness::figure2Protocols(),
+      [](std::uint64_t seed) { return simulationScenario(seed); }, options);
+
+  harness::printOverheadTable("Table 1 — probing overhead (%)", rows);
+  printPaperReference("Table 1",
+                      "ETT 3.03  ETX 0.66  METX 0.61  PP 2.54  SPP 0.53");
+  return 0;
+}

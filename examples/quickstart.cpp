@@ -1,0 +1,68 @@
+// Quickstart: simulate a small wireless mesh running multicast with a
+// high-throughput routing metric, in ~30 lines of API use.
+//
+//   $ ./quickstart
+//
+// Builds a 20-node random mesh (TwoRay propagation + Rayleigh fading, the
+// paper's Section 4.1 radio model), joins five members to one multicast
+// group, attaches a CBR source, and runs ODMRP enhanced with the SPP
+// metric for 120 simulated seconds.
+
+#include <cstdio>
+
+#include "mesh/harness/scenario.hpp"
+
+int main() {
+  using namespace mesh;
+  using namespace mesh::harness;
+
+  ScenarioConfig config;
+  config.nodeCount = 20;
+  config.areaWidthM = 600.0;
+  config.areaHeightM = 600.0;
+  config.rayleighFading = true;
+  config.duration = SimTime::seconds(std::int64_t{120});
+  config.seed = 7;
+
+  // One multicast group: node 0 streams, nodes 10..14 listen.
+  GroupSpec group;
+  group.group = 1;
+  group.sources = {0};
+  group.members = {10, 11, 12, 13, 14};
+  config.groups = {group};
+
+  config.traffic.payloadBytes = 512;
+  config.traffic.packetsPerSecond = 20.0;
+  config.traffic.start = SimTime::seconds(std::int64_t{20});
+  config.traffic.stop = SimTime::seconds(std::int64_t{120});
+
+  // Pick the routing metric: SPP (Success Probability Product) chooses the
+  // path a broadcast packet is most likely to survive end-to-end.
+  config.protocol = ProtocolSpec::with(metrics::MetricKind::Spp);
+
+  Simulation sim{config};
+  const RunResults results = sim.run();
+
+  std::printf("quickstart: 20-node mesh, 1 group, ODMRP_SPP\n");
+  std::printf("  packets sent        : %llu\n",
+              static_cast<unsigned long long>(results.packetsSent));
+  std::printf("  deliveries expected : %llu\n",
+              static_cast<unsigned long long>(results.expectedDeliveries));
+  std::printf("  deliveries observed : %llu\n",
+              static_cast<unsigned long long>(results.packetsDelivered));
+  std::printf("  packet delivery     : %.1f%%\n", results.pdr * 100.0);
+  std::printf("  goodput             : %.1f kbps\n", results.throughputBps / 1e3);
+  std::printf("  mean delay          : %.2f ms\n", results.meanDelayS * 1e3);
+  std::printf("  probe overhead      : %.2f%% of data bytes\n",
+              results.probeOverheadPct);
+
+  std::printf("\nper-receiver view:\n");
+  for (const net::NodeId member : group.members) {
+    const auto& sink = sim.node(member).sink();
+    std::printf("  node %-2u received %llu packets (mean delay %.2f ms)\n",
+                member,
+                static_cast<unsigned long long>(sink.packetsReceived()),
+                sink.delayStats().mean() * 1e3);
+  }
+  return 0;
+}

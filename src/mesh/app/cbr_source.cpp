@@ -1,0 +1,52 @@
+#include "mesh/app/cbr_source.hpp"
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::app {
+
+CbrSource::CbrSource(sim::Simulator& simulator,
+                     net::MulticastProtocol& protocol, CbrConfig config,
+                     Rng rng)
+    : simulator_{simulator},
+      protocol_{protocol},
+      config_{config},
+      rng_{rng},
+      startTimer_{simulator},
+      sendTimer_{simulator} {
+  MESH_REQUIRE(config_.packetsPerSecond > 0.0);
+  MESH_REQUIRE(config_.stop > config_.start);
+}
+
+void CbrSource::start() {
+  const SimTime queryStart =
+      config_.start > config_.routeWarmup ? config_.start - config_.routeWarmup
+                                          : SimTime::zero();
+  // The ODMRP source role begins with the warmup so the first data packets
+  // find a forwarding group in place.
+  simulator_.schedule(queryStart - simulator_.now(),
+                      [this] { protocol_.startSource(config_.group); });
+
+  const SimTime period = SimTime::seconds(1.0 / config_.packetsPerSecond);
+  // Small random phase so multiple sources interleave rather than slam the
+  // medium in lockstep.
+  const SimTime phase = period.scaled(rng_.uniform(0.0, 1.0));
+  startTimer_.start(config_.start + phase - simulator_.now(), [this, period] {
+    sendOne();
+    sendTimer_.startFixed(period, period, [this] {
+      if (simulator_.now() > config_.stop) {
+        sendTimer_.stop();
+        return;
+      }
+      sendOne();
+    });
+  });
+}
+
+void CbrSource::sendOne() {
+  std::vector<std::uint8_t> payload(config_.payloadBytes, 0xC5);
+  protocol_.sendData(config_.group, std::move(payload));
+  ++packetsSent_;
+  bytesSent_ += config_.payloadBytes;
+}
+
+}  // namespace mesh::app

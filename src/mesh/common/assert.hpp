@@ -1,0 +1,27 @@
+#pragma once
+// Assertion macros.
+//
+// MESH_ASSERT   — internal invariant; active in all build types (the
+//                 simulator is a research tool: silent corruption is worse
+//                 than a small constant cost).
+// MESH_REQUIRE  — precondition on a public API; always active.
+// Both print the failing expression with file:line and abort.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mesh::detail {
+[[noreturn]] inline void assertFail(const char* kind, const char* expr,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+}  // namespace mesh::detail
+
+#define MESH_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::mesh::detail::assertFail("MESH_ASSERT", #expr, __FILE__, __LINE__))
+
+#define MESH_REQUIRE(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::mesh::detail::assertFail("MESH_REQUIRE", #expr, __FILE__, __LINE__))

@@ -1,0 +1,58 @@
+#pragma once
+// Exponentially Weighted Moving Average.
+//
+// The paper's PP and ETT metrics smooth packet-pair delay samples with an
+// EWMA that gives 90% weight to the accumulated average and 10% to the new
+// sample, and impose a 20% multiplicative penalty when a probe of the pair
+// is lost (Section 2.2). Ewma implements the generic estimator; the penalty
+// is applied by the caller via `scale()` so the class stays policy-free.
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh {
+
+class Ewma {
+ public:
+  // `historyWeight` is the weight of the accumulated average (0.9 in the
+  // paper); the new sample gets (1 - historyWeight).
+  explicit Ewma(double historyWeight = 0.9) : historyWeight_{historyWeight} {
+    MESH_REQUIRE(historyWeight >= 0.0 && historyWeight < 1.0);
+  }
+
+  bool hasValue() const { return initialized_; }
+  double value() const {
+    MESH_REQUIRE(initialized_);
+    return value_;
+  }
+  double valueOr(double fallback) const { return initialized_ ? value_ : fallback; }
+
+  // Feed a new sample. The first sample initializes the average directly.
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = historyWeight_ * value_ + (1.0 - historyWeight_) * sample;
+    }
+  }
+
+  // Multiplicative adjustment of the current average (e.g. the PP metric's
+  // 20% loss penalty: scale(1.2)). A no-op until the first sample arrives.
+  void scale(double factor) {
+    if (initialized_) value_ *= factor;
+  }
+
+  void reset() {
+    initialized_ = false;
+    value_ = 0.0;
+  }
+
+  double historyWeight() const { return historyWeight_; }
+
+ private:
+  double historyWeight_;
+  double value_{0.0};
+  bool initialized_{false};
+};
+
+}  // namespace mesh

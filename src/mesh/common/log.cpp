@@ -1,0 +1,65 @@
+#include "mesh/common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace mesh::log {
+namespace {
+
+Level g_level = Level::Warn;
+std::function<SimTime()> g_timeSource;
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLevel(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+void initFromEnvironment() {
+  const char* env = std::getenv("MESH_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "trace") == 0) g_level = Level::Trace;
+  else if (std::strcmp(env, "debug") == 0) g_level = Level::Debug;
+  else if (std::strcmp(env, "info") == 0) g_level = Level::Info;
+  else if (std::strcmp(env, "warn") == 0) g_level = Level::Warn;
+  else if (std::strcmp(env, "error") == 0) g_level = Level::Error;
+  else if (std::strcmp(env, "off") == 0) g_level = Level::Off;
+}
+
+void setTimeSource(std::function<SimTime()> source) { g_timeSource = std::move(source); }
+void clearTimeSource() { g_timeSource = nullptr; }
+
+bool enabled(Level lvl) { return static_cast<int>(lvl) >= static_cast<int>(g_level); }
+
+void vwrite(Level lvl, const char* component, const char* fmt, std::va_list args) {
+  char msg[1024];
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  if (g_timeSource) {
+    std::fprintf(stderr, "[%s] %s %-10s %s\n", g_timeSource().str().c_str(),
+                 levelName(lvl), component, msg);
+  } else {
+    std::fprintf(stderr, "%s %-10s %s\n", levelName(lvl), component, msg);
+  }
+}
+
+void write(Level lvl, const char* component, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vwrite(lvl, component, fmt, args);
+  va_end(args);
+}
+
+}  // namespace mesh::log

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Log lines are prefixed with the current simulation time when a time
+// source has been registered (the Simulator registers itself). Logging is
+// off by default (Warn level) so experiment runs stay quiet; tests and the
+// examples raise the level explicitly or via MESH_LOG=debug|trace.
+
+#include <cstdarg>
+#include <functional>
+
+#include "mesh/common/simtime.hpp"
+
+namespace mesh::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+void setLevel(Level level);
+Level level();
+
+// Reads MESH_LOG from the environment ("trace", "debug", "info", ...).
+void initFromEnvironment();
+
+// The simulator installs a time source so every line carries sim time.
+void setTimeSource(std::function<SimTime()> source);
+void clearTimeSource();
+
+bool enabled(Level level);
+void vwrite(Level level, const char* component, const char* fmt, std::va_list args);
+void write(Level level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace mesh::log
+
+#define MESH_LOG_AT(lvl, component, ...)                        \
+  do {                                                          \
+    if (::mesh::log::enabled(lvl)) {                            \
+      ::mesh::log::write(lvl, component, __VA_ARGS__);          \
+    }                                                           \
+  } while (0)
+
+#define MESH_TRACE(component, ...) MESH_LOG_AT(::mesh::log::Level::Trace, component, __VA_ARGS__)
+#define MESH_DEBUG(component, ...) MESH_LOG_AT(::mesh::log::Level::Debug, component, __VA_ARGS__)
+#define MESH_INFO(component, ...)  MESH_LOG_AT(::mesh::log::Level::Info, component, __VA_ARGS__)
+#define MESH_WARN(component, ...)  MESH_LOG_AT(::mesh::log::Level::Warn, component, __VA_ARGS__)
+#define MESH_ERROR(component, ...) MESH_LOG_AT(::mesh::log::Level::Error, component, __VA_ARGS__)

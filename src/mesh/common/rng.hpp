@@ -1,0 +1,133 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (fading, backoff, jitter,
+// topology placement, traffic start times) draws from its own Rng stream,
+// forked from a single experiment seed. Forking uses splitmix64 so streams
+// are statistically independent and — crucially — adding a new consumer of
+// randomness never perturbs the draws seen by existing consumers.
+//
+// The generator is xoshiro256** (Blackman & Vigna), implemented locally so
+// results are identical on every platform; <random> distributions are
+// avoided for the same reason (libstdc++/libc++ differ).
+
+#include <cstdint>
+#include <cmath>
+#include <string_view>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh {
+
+// splitmix64: used for seeding / stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a over a label, used to derive named sub-streams.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+class Rng {
+ public:
+  // Seed 0 is remapped internally; all-zero state is invalid for xoshiro.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  // Derive an independent stream identified by a label and an index.
+  // fork("fading", 3) always yields the same stream for the same parent seed.
+  Rng fork(std::string_view label, std::uint64_t index = 0) const {
+    std::uint64_t mix = s_[0] ^ (s_[1] * 0x9E3779B97F4A7C15ULL);
+    mix ^= fnv1a(label) + 0x165667B19E3779F9ULL * (index + 1);
+    return Rng{mix};
+  }
+
+  std::uint64_t nextU64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    MESH_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). n must be > 0. Unbiased (rejection).
+  std::uint64_t uniformInt(std::uint64_t n) {
+    MESH_ASSERT(n > 0);
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = nextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    MESH_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean = 1.0) {
+    MESH_ASSERT(mean > 0.0);
+    // 1 - uniform() is in (0, 1], so log() is finite.
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  // Standard normal via Box-Muller (no cached second value: determinism
+  // is easier to reason about when each call consumes a fixed # of draws).
+  double normal(double mu = 0.0, double sigma = 1.0) {
+    const double u1 = 1.0 - uniform();  // (0, 1]
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * mag * std::cos(6.28318530717958647692 * u2);
+  }
+
+  // Rayleigh-fading power gain: |h|^2 for a unit-mean Rayleigh channel is
+  // exponentially distributed with mean 1.
+  double rayleighPowerGain() { return exponential(1.0); }
+
+ private:
+  explicit Rng(std::uint64_t mixed, int) = delete;
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace mesh

@@ -1,0 +1,17 @@
+#include "mesh/common/simtime.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mesh {
+
+std::string SimTime::str() const {
+  char buf[40];
+  const std::int64_t whole = ns_ / 1'000'000'000;
+  std::int64_t frac = ns_ % 1'000'000'000;
+  if (frac < 0) frac = -frac;
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%09" PRId64 "s", whole, frac);
+  return buf;
+}
+
+}  // namespace mesh

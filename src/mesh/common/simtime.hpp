@@ -1,0 +1,86 @@
+#pragma once
+// SimTime: the simulation clock type.
+//
+// All simulation time is kept as a signed 64-bit count of *nanoseconds*.
+// Integer time makes every experiment a pure, bit-exact function of its
+// seed: there is no floating-point drift in event ordering, so a run can be
+// replayed on any platform and produce the same packet-level trace.
+//
+// The type is a strong wrapper (not an alias) so that times, durations and
+// plain integers cannot be mixed up silently.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace mesh {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  // Named constructors. Fractional inputs are rounded to the nearest ns.
+  static constexpr SimTime nanoseconds(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime microseconds(std::int64_t us) { return SimTime{us * 1000}; }
+  static constexpr SimTime milliseconds(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+  static constexpr SimTime seconds(std::int64_t s) { return SimTime{s * 1'000'000'000}; }
+  static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr SimTime microseconds(double us) {
+    return SimTime{static_cast<std::int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double toMilliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double toMicroseconds() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr bool isZero() const { return ns_ == 0; }
+  constexpr bool isNegative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+  // Ratio of two durations.
+  constexpr double ratio(SimTime o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+  // Scale a duration by a floating factor (rounds to nearest ns).
+  constexpr SimTime scaled(double f) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * f + 0.5)};
+  }
+
+  // "12.345678s" — human-readable, used by the logger and traces.
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+inline namespace time_literals {
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanoseconds(static_cast<std::int64_t>(v));
+}
+}  // namespace time_literals
+
+}  // namespace mesh

@@ -1,0 +1,109 @@
+#pragma once
+// Summary statistics used by the experiment harness and tests.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh {
+
+// Online mean/variance (Welford). O(1) memory; numerically stable.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  // Population / sample variance and standard deviation.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double sampleVariance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sampleStddev() const { return std::sqrt(sampleVariance()); }
+
+  // Half-width of the ~95% confidence interval of the mean (normal approx).
+  double ci95HalfWidth() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * sampleStddev() / std::sqrt(static_cast<double>(n_));
+  }
+
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    mean_ = (na * mean_ + nb * o.mean_) / nt;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+// Stores samples; adds percentiles to what OnlineStats offers.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    online_.add(x);
+  }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const { return online_.mean(); }
+  double sum() const { return online_.sum(); }
+  double min() const { return online_.min(); }
+  double max() const { return online_.max(); }
+  double stddev() const { return online_.stddev(); }
+  double sampleStddev() const { return online_.sampleStddev(); }
+  double ci95HalfWidth() const { return online_.ci95HalfWidth(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  // Linear-interpolated percentile, q in [0, 100].
+  double percentile(double q) const {
+    MESH_REQUIRE(!samples_.empty());
+    MESH_REQUIRE(q >= 0.0 && q <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  }
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  OnlineStats online_;
+};
+
+}  // namespace mesh

@@ -1,0 +1,34 @@
+#pragma once
+// Power and data-rate unit helpers.
+//
+// The PHY works internally in watts (linear domain) because interference
+// accumulation is a sum of powers; configuration and logging use dBm.
+
+#include <cmath>
+#include <cstdint>
+
+#include "mesh/common/simtime.hpp"
+
+namespace mesh {
+
+constexpr double kBoltzmann = 1.380649e-23;  // J/K
+
+inline double dbmToWatts(double dbm) { return std::pow(10.0, (dbm - 30.0) / 10.0); }
+inline double wattsToDbm(double w) { return 10.0 * std::log10(w) + 30.0; }
+inline double dbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linearToDb(double lin) { return 10.0 * std::log10(lin); }
+
+// Time on air for `bytes` of payload at `bitsPerSecond` (payload only; PHY
+// preamble/header time is added by the MAC from its PhyTiming).
+inline SimTime transmissionTime(std::size_t bytes, double bitsPerSecond) {
+  const double seconds = static_cast<double>(bytes) * 8.0 / bitsPerSecond;
+  return SimTime::seconds(seconds);
+}
+
+// Thermal noise floor in watts for a given bandwidth (Hz) and noise figure (dB).
+inline double thermalNoiseWatts(double bandwidthHz, double noiseFigureDb = 10.0,
+                                double temperatureK = 290.0) {
+  return kBoltzmann * temperatureK * bandwidthHz * dbToLinear(noiseFigureDb);
+}
+
+}  // namespace mesh

@@ -1,0 +1,26 @@
+#pragma once
+// 2-D position/vector type for node placement and propagation distances.
+
+#include <cmath>
+
+namespace mesh {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double lengthSquared() const { return x * x + y * y; }
+  double length() const { return std::sqrt(lengthSquared()); }
+  double distanceTo(Vec2 o) const { return (*this - o).length(); }
+  constexpr double distanceSquaredTo(Vec2 o) const {
+    return (*this - o).lengthSquared();
+  }
+};
+
+}  // namespace mesh

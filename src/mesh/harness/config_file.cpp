@@ -1,0 +1,310 @@
+#include "mesh/harness/config_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mesh::harness {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  ConfigParseResult run() {
+    ScenarioConfig config;
+    // meshsim scenarios default to the paper's radio/MAC/ODMRP parameters.
+    config.groups.clear();
+
+    std::string section;
+    GroupSpec* group = nullptr;
+
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    while (pos <= text_.size()) {
+      const std::size_t eol = text_.find('\n', pos);
+      std::string_view line = text_.substr(
+          pos, eol == std::string_view::npos ? text_.size() - pos : eol - pos);
+      pos = eol == std::string_view::npos ? text_.size() + 1 : eol + 1;
+      ++lineNo;
+
+      const std::size_t hash = line.find('#');
+      if (hash != std::string_view::npos) line = line.substr(0, hash);
+      line = trim(line);
+      if (line.empty()) continue;
+
+      if (line.front() == '[') {
+        if (line.back() != ']') return fail(lineNo, "unterminated section header");
+        section = lower(trim(line.substr(1, line.size() - 2)));
+        group = nullptr;
+        if (section.rfind("group", 0) == 0) {
+          const std::string_view idText = trim(std::string_view{section}.substr(5));
+          int id = 0;
+          if (idText.empty() ||
+              std::from_chars(idText.data(), idText.data() + idText.size(), id).ec !=
+                  std::errc{}) {
+            return fail(lineNo, "group section needs a numeric id, e.g. [group 1]");
+          }
+          config.groups.push_back(GroupSpec{static_cast<net::GroupId>(id), {}, {}});
+          group = &config.groups.back();
+        } else if (section != "scenario" && section != "protocol" &&
+                   section != "traffic") {
+          return fail(lineNo, "unknown section [" + section + "]");
+        }
+        continue;
+      }
+
+      const std::size_t eq = line.find('=');
+      if (eq == std::string_view::npos) return fail(lineNo, "expected key = value");
+      const std::string key = lower(trim(line.substr(0, eq)));
+      const std::string_view value = trim(line.substr(eq + 1));
+      if (key.empty() || value.empty()) return fail(lineNo, "empty key or value");
+
+      std::string error;
+      if (section == "scenario") {
+        error = scenarioKey(config, key, value);
+      } else if (section == "protocol") {
+        error = protocolKey(config, key, value);
+      } else if (section == "traffic") {
+        error = trafficKey(config, key, value);
+      } else if (group != nullptr) {
+        error = groupKey(*group, key, value);
+      } else {
+        error = "key outside of any section";
+      }
+      if (!error.empty()) return fail(lineNo, error);
+    }
+
+    if (config.groups.empty()) {
+      return {std::nullopt, "config error: no [group N] sections"};
+    }
+    for (const GroupSpec& g : config.groups) {
+      for (const net::NodeId id : g.sources) {
+        if (id >= config.nodeCount) {
+          return {std::nullopt, "config error: source id out of range"};
+        }
+      }
+      for (const net::NodeId id : g.members) {
+        if (id >= config.nodeCount) {
+          return {std::nullopt, "config error: member id out of range"};
+        }
+      }
+    }
+    return {std::move(config), {}};
+  }
+
+ private:
+  static ConfigParseResult fail(std::size_t line, const std::string& what) {
+    std::ostringstream out;
+    out << "config error at line " << line << ": " << what;
+    return {std::nullopt, out.str()};
+  }
+
+  static std::optional<double> number(std::string_view v) {
+    // from_chars(double) needs contiguous chars; value is already trimmed.
+    double out{};
+    const auto result = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (result.ec != std::errc{} || result.ptr != v.data() + v.size()) {
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  static std::optional<bool> boolean(std::string_view v) {
+    const std::string s = lower(v);
+    if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+    return std::nullopt;
+  }
+
+  static std::optional<std::vector<net::NodeId>> idList(std::string_view v) {
+    std::vector<net::NodeId> out;
+    std::size_t i = 0;
+    while (i < v.size()) {
+      while (i < v.size() && std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+      if (i >= v.size()) break;
+      std::size_t j = i;
+      while (j < v.size() && !std::isspace(static_cast<unsigned char>(v[j]))) ++j;
+      int id{};
+      if (std::from_chars(v.data() + i, v.data() + j, id).ec != std::errc{} ||
+          id < 0 || id > 0xFFFF) {
+        return std::nullopt;
+      }
+      out.push_back(static_cast<net::NodeId>(id));
+      i = j;
+    }
+    return out;
+  }
+
+  std::string scenarioKey(ScenarioConfig& config, const std::string& key,
+                          std::string_view value) {
+    if (key == "nodes") {
+      const auto n = number(value);
+      if (!n || *n < 1) return "nodes must be a positive integer";
+      config.nodeCount = static_cast<std::size_t>(*n);
+      return {};
+    }
+    if (key == "area") {
+      const std::size_t x = value.find('x');
+      if (x == std::string_view::npos) return "area must look like 1000x1000";
+      const auto w = number(trim(value.substr(0, x)));
+      const auto h = number(trim(value.substr(x + 1)));
+      if (!w || !h || *w <= 0 || *h <= 0) return "bad area dimensions";
+      config.areaWidthM = *w;
+      config.areaHeightM = *h;
+      return {};
+    }
+    if (key == "duration_s") {
+      const auto d = number(value);
+      if (!d || *d <= 0) return "duration_s must be positive";
+      config.duration = SimTime::seconds(*d);
+      return {};
+    }
+    if (key == "fading") {
+      const std::string f = lower(value);
+      if (f == "rayleigh") config.rayleighFading = true;
+      else if (f == "none") config.rayleighFading = false;
+      else return "fading must be rayleigh or none";
+      return {};
+    }
+    if (key == "seed") {
+      const auto s = number(value);
+      if (!s || *s < 0) return "seed must be a non-negative integer";
+      config.seed = static_cast<std::uint64_t>(*s);
+      return {};
+    }
+    if (key == "connected") {
+      const auto b = boolean(value);
+      if (!b) return "connected must be a boolean";
+      config.ensureConnected = *b;
+      return {};
+    }
+    return "unknown [scenario] key '" + key + "'";
+  }
+
+  std::string protocolKey(ScenarioConfig& config, const std::string& key,
+                          std::string_view value) {
+    if (key == "routing") {
+      const std::string r = lower(value);
+      if (r == "odmrp") config.protocol.routing = Routing::Odmrp;
+      else if (r == "tree") config.protocol.routing = Routing::Tree;
+      else return "routing must be odmrp or tree";
+      return {};
+    }
+    if (key == "metric") {
+      const std::string m = lower(value);
+      if (m == "none") {
+        config.protocol.metric.reset();
+        return {};
+      }
+      for (const auto kind :
+           {metrics::MetricKind::Hop, metrics::MetricKind::Etx,
+            metrics::MetricKind::Ett, metrics::MetricKind::Pp,
+            metrics::MetricKind::Metx, metrics::MetricKind::Spp,
+            metrics::MetricKind::BiEtx}) {
+        if (m == lower(metrics::toString(kind))) {
+          config.protocol.metric = kind;
+          return {};
+        }
+      }
+      return "unknown metric '" + std::string{value} + "'";
+    }
+    if (key == "probe_rate") {
+      const auto r = number(value);
+      if (!r || *r <= 0) return "probe_rate must be positive";
+      config.protocol.probeRateScale = *r;
+      return {};
+    }
+    if (key == "adaptive") {
+      const auto b = boolean(value);
+      if (!b) return "adaptive must be a boolean";
+      config.protocol.adaptiveProbing = *b;
+      return {};
+    }
+    return "unknown [protocol] key '" + key + "'";
+  }
+
+  std::string trafficKey(ScenarioConfig& config, const std::string& key,
+                         std::string_view value) {
+    if (key == "payload") {
+      const auto n = number(value);
+      if (!n || *n < 1) return "payload must be a positive byte count";
+      config.traffic.payloadBytes = static_cast<std::size_t>(*n);
+      return {};
+    }
+    if (key == "rate_pps") {
+      const auto n = number(value);
+      if (!n || *n <= 0) return "rate_pps must be positive";
+      config.traffic.packetsPerSecond = *n;
+      return {};
+    }
+    if (key == "start_s") {
+      const auto n = number(value);
+      if (!n || *n < 0) return "start_s must be non-negative";
+      config.traffic.start = SimTime::seconds(*n);
+      return {};
+    }
+    if (key == "stop_s") {
+      const auto n = number(value);
+      if (!n || *n <= 0) return "stop_s must be positive";
+      config.traffic.stop = SimTime::seconds(*n);
+      return {};
+    }
+    return "unknown [traffic] key '" + key + "'";
+  }
+
+  std::string groupKey(GroupSpec& group, const std::string& key,
+                       std::string_view value) {
+    if (key == "sources") {
+      const auto ids = idList(value);
+      if (!ids || ids->empty()) return "sources must be a list of node ids";
+      group.sources = *ids;
+      return {};
+    }
+    if (key == "members") {
+      const auto ids = idList(value);
+      if (!ids || ids->empty()) return "members must be a list of node ids";
+      group.members = *ids;
+      return {};
+    }
+    return "unknown group key '" + key + "'";
+  }
+
+  std::string_view text_;
+};
+
+}  // namespace
+
+ConfigParseResult parseScenarioConfig(std::string_view text) {
+  return Parser{text}.run();
+}
+
+ConfigParseResult loadScenarioConfig(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return {std::nullopt, "cannot open '" + path + "'"};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseScenarioConfig(buffer.str());
+}
+
+}  // namespace mesh::harness

@@ -1,0 +1,56 @@
+#pragma once
+// Scenario configuration files for the meshsim driver.
+//
+// A small INI dialect — sections, key = value, '#' comments — mapping
+// 1:1 onto ScenarioConfig, so whole experiments are runnable without
+// writing C++:
+//
+//   # fifty.ini
+//   [scenario]
+//   nodes = 50
+//   area = 1000x1000
+//   duration_s = 400
+//   fading = rayleigh        # or: none
+//   seed = 7
+//
+//   [protocol]
+//   routing = odmrp          # or: tree
+//   metric = SPP             # HOP ETX ETT PP METX SPP BiETX, or: none
+//   probe_rate = 1.0
+//   adaptive = false
+//
+//   [traffic]
+//   payload = 512
+//   rate_pps = 20
+//   start_s = 30
+//   stop_s = 400
+//
+//   [group 1]                # one section per multicast group
+//   sources = 0
+//   members = 10 11 12 13 14
+//
+// Parsing reports errors with line numbers; unknown keys are errors (a
+// typo silently ignored is how experiments go wrong).
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mesh/harness/scenario.hpp"
+
+namespace mesh::harness {
+
+struct ConfigParseResult {
+  std::optional<ScenarioConfig> config;
+  std::string error;  // empty on success
+
+  bool ok() const { return config.has_value(); }
+};
+
+// Parses the text of a scenario file.
+ConfigParseResult parseScenarioConfig(std::string_view text);
+
+// Reads and parses a file from disk.
+ConfigParseResult loadScenarioConfig(const std::string& path);
+
+}  // namespace mesh::harness

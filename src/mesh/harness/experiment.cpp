@@ -1,0 +1,90 @@
+#include "mesh/harness/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mesh::harness {
+
+BenchOptions BenchOptions::fromEnvironment(std::size_t defaultTopologies,
+                                           std::int64_t defaultDurationS) {
+  BenchOptions options;
+  options.topologies = defaultTopologies;
+  options.duration = SimTime::seconds(defaultDurationS);
+
+  const char* full = std::getenv("MESH_BENCH_FULL");
+  const bool forceFull = full != nullptr && full[0] == '1';
+  if (forceFull) {
+    // Paper scale (Section 4.1): 10 topologies × 400 s.
+    options.topologies = 10;
+    options.duration = SimTime::seconds(std::int64_t{400});
+  } else {
+    if (const char* t = std::getenv("MESH_BENCH_TOPOLOGIES")) {
+      const long v = std::strtol(t, nullptr, 10);
+      if (v > 0) options.topologies = static_cast<std::size_t>(v);
+    }
+    if (const char* d = std::getenv("MESH_BENCH_DURATION_S")) {
+      const long v = std::strtol(d, nullptr, 10);
+      if (v > 0) options.duration = SimTime::seconds(std::int64_t{v});
+    }
+  }
+  return options;
+}
+
+std::vector<ComparisonRow> runProtocolComparison(
+    const std::vector<ProtocolSpec>& protocols,
+    const std::function<ScenarioConfig(std::uint64_t topologySeed)>& makeScenario,
+    const BenchOptions& options) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(protocols.size());
+  for (const ProtocolSpec& protocol : protocols) {
+    ComparisonRow row;
+    row.protocol = protocol;
+    row.name = protocol.name();
+    rows.push_back(std::move(row));
+  }
+
+  for (std::size_t t = 0; t < options.topologies; ++t) {
+    const std::uint64_t seed = options.baseSeed + t;
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      ScenarioConfig config = makeScenario(seed);
+      config.protocol = protocols[p];
+      config.seed = seed;
+      if (options.duration > SimTime::zero()) {
+        config.duration = options.duration;
+        if (config.traffic.stop > config.duration) {
+          config.traffic.stop = config.duration;
+        }
+      }
+      if (options.verbose) {
+        std::fprintf(stderr, "[bench] topology %zu/%zu  protocol %-6s ...",
+                     t + 1, options.topologies, rows[p].name.c_str());
+        std::fflush(stderr);
+      }
+      Simulation sim{std::move(config)};
+      const RunResults r = sim.run();
+      if (options.verbose) {
+        std::fprintf(stderr, " pdr=%.4f delay=%.4fs overhead=%.2f%%\n", r.pdr,
+                     r.meanDelayS, r.probeOverheadPct);
+      }
+      rows[p].pdr.add(r.pdr);
+      rows[p].throughputBps.add(r.throughputBps);
+      rows[p].delayS.add(r.meanDelayS);
+      rows[p].overheadPct.add(r.probeOverheadPct);
+      rows[p].controlBytes.add(static_cast<double>(r.controlBytesReceived));
+    }
+  }
+  return rows;
+}
+
+std::vector<ProtocolSpec> figure2Protocols(double probeRateScale) {
+  return {
+      ProtocolSpec::original(),
+      ProtocolSpec::with(metrics::MetricKind::Ett, probeRateScale),
+      ProtocolSpec::with(metrics::MetricKind::Etx, probeRateScale),
+      ProtocolSpec::with(metrics::MetricKind::Metx, probeRateScale),
+      ProtocolSpec::with(metrics::MetricKind::Pp, probeRateScale),
+      ProtocolSpec::with(metrics::MetricKind::Spp, probeRateScale),
+  };
+}
+
+}  // namespace mesh::harness

@@ -1,0 +1,60 @@
+#pragma once
+// Experiment runner: protocol comparisons over common topology sets.
+//
+// Every evaluation in the paper is "run ODMRP and ODMRP_<metric> over the
+// same topologies/workload, then report values normalized to ODMRP". This
+// header provides that loop plus the environment knobs that let bench
+// binaries run quickly by default and at full paper scale on demand:
+//
+//   MESH_BENCH_TOPOLOGIES  (default: experiment-specific, paper uses 10)
+//   MESH_BENCH_DURATION_S  (default: experiment-specific, paper uses 400)
+//
+// Set MESH_BENCH_FULL=1 to force the paper-scale defaults.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mesh/common/stats.hpp"
+#include "mesh/harness/scenario.hpp"
+
+namespace mesh::harness {
+
+struct BenchOptions {
+  std::size_t topologies{10};
+  SimTime duration{SimTime::seconds(std::int64_t{400})};
+  std::uint64_t baseSeed{1000};
+  bool verbose{true};  // progress lines on stderr
+
+  // Applies MESH_BENCH_* environment overrides on top of the given
+  // defaults (which should be the paper-scale values).
+  static BenchOptions fromEnvironment(std::size_t defaultTopologies = 10,
+                                      std::int64_t defaultDurationS = 400);
+};
+
+// Per-protocol aggregation across topologies.
+struct ComparisonRow {
+  ProtocolSpec protocol;
+  std::string name;
+  OnlineStats pdr;
+  OnlineStats throughputBps;
+  OnlineStats delayS;
+  OnlineStats overheadPct;
+  OnlineStats controlBytes;
+};
+
+// Runs each protocol over `options.topologies` topologies. The scenario
+// factory receives the topology seed and returns a fully-specified
+// scenario (groups, traffic, duration); the runner fills in the protocol.
+// All protocols see identical topology seeds — paired comparison, like
+// the paper's normalization.
+std::vector<ComparisonRow> runProtocolComparison(
+    const std::vector<ProtocolSpec>& protocols,
+    const std::function<ScenarioConfig(std::uint64_t topologySeed)>& makeScenario,
+    const BenchOptions& options);
+
+// The protocol list of Figure 2: original ODMRP first (the normalization
+// baseline), then the five metrics in the paper's legend order.
+std::vector<ProtocolSpec> figure2Protocols(double probeRateScale = 1.0);
+
+}  // namespace mesh::harness

@@ -1,0 +1,92 @@
+#include "mesh/harness/mesh_node.hpp"
+
+namespace mesh::harness {
+namespace {
+
+metrics::ProbeConfig probeConfigFor(const metrics::Metric* metric) {
+  return metric != nullptr ? metric->probeConfig() : metrics::ProbeConfig{};
+}
+
+SimTime effectiveProbeInterval(const metrics::Metric* metric, double rateScale) {
+  const metrics::ProbeConfig config = probeConfigFor(metric);
+  if (config.mode == metrics::ProbeMode::None) {
+    return SimTime::seconds(std::int64_t{5});  // placeholder; table unused
+  }
+  return config.interval.scaled(1.0 / rateScale);
+}
+
+}  // namespace
+
+MeshNode::MeshNode(sim::Simulator& simulator, phy::Channel& channel,
+                   net::NodeId id, const MeshNodeConfig& config,
+                   const metrics::Metric* metric, Rng rng)
+    : simulator_{simulator},
+      metric_{metric},
+      radio_{simulator, id, config.phy},
+      mac_{simulator, radio_, config.mac, rng.fork("mac")},
+      table_{effectiveProbeInterval(metric, config.probeRateScale),
+             probeConfigFor(metric).lossWindow == 0
+                 ? 10
+                 : probeConfigFor(metric).lossWindow},
+      sink_{simulator} {
+  const auto send = [this](net::PacketPtr packet) {
+    mac_.send(std::move(packet), net::kBroadcastNode);
+  };
+  const metrics::NeighborTable* neighbors = metric != nullptr ? &table_ : nullptr;
+  if (config.treeRouting) {
+    protocol_ = std::make_unique<maodv::TreeMulticast>(
+        simulator, id, config.tree, metric, neighbors, send, rng.fork("tree"));
+  } else {
+    protocol_ = std::make_unique<odmrp::Odmrp>(
+        simulator, id, config.odmrp, metric, neighbors, send, rng.fork("odmrp"));
+  }
+  channel.attach(radio_);
+  probes_ = std::make_unique<metrics::ProbeService>(
+      simulator, id, probeConfigFor(metric), config.probeRateScale, table_,
+      [this](net::PacketPtr packet) {
+        mac_.send(std::move(packet), net::kBroadcastNode);
+      },
+      rng.fork("probes"), config.adaptiveProbing,
+      [this] { return radio_.busyTime(); });
+  mac_.setReceiveCallback(
+      [this](const net::PacketPtr& packet, net::NodeId from) {
+        dispatch(packet, from);
+      });
+  protocol_->setDeliverCallback(
+      [this](net::GroupId group, net::NodeId source, std::uint32_t seq,
+             const net::PacketPtr& packet, std::span<const std::uint8_t> payload) {
+        sink_.onDeliver(group, source, seq, packet, payload);
+      });
+}
+
+void MeshNode::start() { probes_->start(); }
+
+void MeshNode::joinGroup(net::GroupId group) { protocol_->joinGroup(group); }
+
+void MeshNode::addCbrSource(const app::CbrConfig& config) {
+  MESH_REQUIRE(cbr_ == nullptr);  // one CBR flow per node, like the paper
+  cbr_ = std::make_unique<app::CbrSource>(simulator_, *protocol_, config,
+                                          Rng{radio_.nodeId()}.fork("cbr"));
+  cbr_->start();
+}
+
+void MeshNode::dispatch(const net::PacketPtr& packet, net::NodeId from) {
+  switch (packet->kind()) {
+    case net::PacketKind::Probe:
+      bytes_.probeBytesReceived += packet->sizeBytes();
+      probes_->onPacket(packet, simulator_.now());
+      break;
+    case net::PacketKind::Control:
+      bytes_.controlBytesReceived += packet->sizeBytes();
+      protocol_->onPacket(packet, from);
+      break;
+    case net::PacketKind::Data:
+      bytes_.dataBytesReceived += packet->sizeBytes();
+      protocol_->onPacket(packet, from);
+      break;
+    case net::PacketKind::MacControl:
+      break;  // never reaches the dispatch layer
+  }
+}
+
+}  // namespace mesh::harness

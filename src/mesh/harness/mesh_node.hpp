@@ -1,0 +1,101 @@
+#pragma once
+// MeshNode: one complete mesh router.
+//
+// Composition (bottom-up): Radio -> Mac80211 -> packet dispatch by kind ->
+// { ProbeService + NeighborTable, Odmrp } -> { CbrSource, MulticastSink }.
+// This is the node a scenario instantiates 50 of; tests use it directly
+// for small rigs.
+//
+// The node also keeps per-kind received-byte counters (probe / control /
+// data) measured at MAC delivery — the raw numbers behind Table 1's
+// "percentage of bytes from probe packets out of the total number of data
+// bytes received".
+
+#include <memory>
+#include <optional>
+
+#include "mesh/app/cbr_source.hpp"
+#include "mesh/app/multicast_sink.hpp"
+#include "mesh/common/rng.hpp"
+#include "mesh/mac/mac80211.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/metrics/neighbor_table.hpp"
+#include "mesh/metrics/probe_service.hpp"
+#include "mesh/maodv/tree_multicast.hpp"
+#include "mesh/net/multicast_protocol.hpp"
+#include "mesh/odmrp/odmrp.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/phy/radio.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::harness {
+
+struct NodeByteCounters {
+  std::uint64_t probeBytesReceived{0};
+  std::uint64_t controlBytesReceived{0};
+  std::uint64_t dataBytesReceived{0};
+};
+
+struct MeshNodeConfig {
+  phy::PhyParams phy{};
+  mac::MacParams mac{};
+  odmrp::OdmrpParams odmrp{};
+  maodv::TreeParams tree{};
+  // Mesh-based ODMRP (default) or the tree-based protocol of Section 4.3.
+  bool treeRouting{false};
+  // Probing: rateScale divides the metric's probe interval (Section 4.2.2
+  // sweeps). Ignored for the original protocol (metric == nullptr).
+  double probeRateScale{1.0};
+  // Optional load-aware probe throttling (Section 6 future work).
+  metrics::AdaptiveProbing adaptiveProbing{};
+};
+
+class MeshNode {
+ public:
+  // `metric` is shared by all nodes of a scenario (or nullptr for the
+  // original ODMRP). The channel must outlive the node.
+  MeshNode(sim::Simulator& simulator, phy::Channel& channel, net::NodeId id,
+           const MeshNodeConfig& config, const metrics::Metric* metric,
+           Rng rng);
+
+  MeshNode(const MeshNode&) = delete;
+  MeshNode& operator=(const MeshNode&) = delete;
+
+  net::NodeId id() const { return radio_.nodeId(); }
+
+  // Start periodic activities (probing). Call once before the run.
+  void start();
+
+  // --- roles --------------------------------------------------------------
+  void joinGroup(net::GroupId group);
+  void addCbrSource(const app::CbrConfig& config);
+
+  // --- access ---------------------------------------------------------
+  phy::Radio& radio() { return radio_; }
+  mac::Mac80211& mac() { return mac_; }
+  metrics::NeighborTable& neighborTable() { return table_; }
+  metrics::ProbeService& probes() { return *probes_; }
+  net::MulticastProtocol& protocol() { return *protocol_; }
+  // Legacy accessor name (most call sites predate TreeMulticast).
+  net::MulticastProtocol& odmrp() { return *protocol_; }
+  app::MulticastSink& sink() { return sink_; }
+  const app::CbrSource* cbr() const { return cbr_ ? cbr_.get() : nullptr; }
+  const NodeByteCounters& byteCounters() const { return bytes_; }
+  const metrics::Metric* metric() const { return metric_; }
+
+ private:
+  void dispatch(const net::PacketPtr& packet, net::NodeId from);
+
+  sim::Simulator& simulator_;
+  const metrics::Metric* metric_;
+  phy::Radio radio_;
+  mac::Mac80211 mac_;
+  metrics::NeighborTable table_;
+  std::unique_ptr<metrics::ProbeService> probes_;
+  std::unique_ptr<net::MulticastProtocol> protocol_;
+  app::MulticastSink sink_;
+  std::unique_ptr<app::CbrSource> cbr_;
+  NodeByteCounters bytes_;
+};
+
+}  // namespace mesh::harness

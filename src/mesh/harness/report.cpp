@@ -1,0 +1,66 @@
+#include "mesh/harness/report.hpp"
+
+#include <cstdio>
+
+namespace mesh::harness {
+namespace {
+
+void printHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  for (std::size_t i = 0; i < title.size(); ++i) std::printf("=");
+  std::printf("\n");
+}
+
+}  // namespace
+
+void printNormalizedThroughput(const std::string& title,
+                               std::span<const ComparisonRow> rows) {
+  printHeader(title);
+  MESH_REQUIRE(!rows.empty());
+  const double base = rows[0].pdr.mean();
+  std::printf("%-8s  %-12s  %-10s  %s\n", "protocol", "normalized", "PDR",
+              "gain vs ODMRP");
+  for (const ComparisonRow& row : rows) {
+    const double normalized = base > 0.0 ? row.pdr.mean() / base : 0.0;
+    std::printf("%-8s  %8.3f      %6.4f      %+6.1f%%\n", row.name.c_str(),
+                normalized, row.pdr.mean(), (normalized - 1.0) * 100.0);
+  }
+}
+
+void printNormalizedDelay(const std::string& title,
+                          std::span<const ComparisonRow> rows) {
+  printHeader(title);
+  MESH_REQUIRE(!rows.empty());
+  const double base = rows[0].delayS.mean();
+  std::printf("%-8s  %-12s  %s\n", "protocol", "normalized", "mean delay");
+  for (const ComparisonRow& row : rows) {
+    const double normalized = base > 0.0 ? row.delayS.mean() / base : 0.0;
+    std::printf("%-8s  %8.3f      %8.2f ms\n", row.name.c_str(), normalized,
+                row.delayS.mean() * 1e3);
+  }
+}
+
+void printOverheadTable(const std::string& title,
+                        std::span<const ComparisonRow> rows) {
+  printHeader(title);
+  std::printf("%-8s  %s\n", "metric", "% overhead (probe bytes / data bytes received)");
+  for (const ComparisonRow& row : rows) {
+    if (!row.protocol.metric) continue;  // ODMRP has no probes
+    std::printf("%-8s  %6.2f\n", row.name.c_str(), row.overheadPct.mean());
+  }
+}
+
+void printAbsolute(const std::string& title, std::span<const ComparisonRow> rows) {
+  printHeader(title);
+  std::printf("%-8s  %10s  %14s  %12s  %10s  (over %zu topologies, ±95%% CI)\n",
+              "protocol", "PDR", "throughput", "delay", "overhead",
+              rows.empty() ? 0 : rows[0].pdr.count());
+  for (const ComparisonRow& row : rows) {
+    std::printf("%-8s  %6.4f±%.3f  %9.1f kbps  %8.2f ms  %7.2f %%\n",
+                row.name.c_str(), row.pdr.mean(), row.pdr.ci95HalfWidth(),
+                row.throughputBps.mean() / 1e3, row.delayS.mean() * 1e3,
+                row.overheadPct.mean());
+  }
+}
+
+}  // namespace mesh::harness

@@ -1,0 +1,30 @@
+#pragma once
+// Report printers: emit the same rows/series the paper's tables and
+// figures show, normalized against the original ODMRP where the paper
+// normalizes.
+
+#include <span>
+#include <string>
+
+#include "mesh/harness/experiment.hpp"
+
+namespace mesh::harness {
+
+// One Figure 2 column: normalized throughput (PDR relative to the ODMRP
+// row, which must be rows[0]) with 95% CI from the per-topology spread.
+void printNormalizedThroughput(const std::string& title,
+                               std::span<const ComparisonRow> rows);
+
+// Figure 2 "Delay" column: normalized mean end-to-end delay.
+void printNormalizedDelay(const std::string& title,
+                          std::span<const ComparisonRow> rows);
+
+// Table 1: probe overhead percentage per metric (the ODMRP row is skipped
+// — it has no probes).
+void printOverheadTable(const std::string& title,
+                        std::span<const ComparisonRow> rows);
+
+// Raw absolute values, for EXPERIMENTS.md appendices.
+void printAbsolute(const std::string& title, std::span<const ComparisonRow> rows);
+
+}  // namespace mesh::harness

@@ -1,0 +1,254 @@
+#include "mesh/harness/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/phy/fading.hpp"
+#include "mesh/phy/propagation.hpp"
+
+namespace mesh::harness {
+
+ScenarioConfig paperSimulationScenario() {
+  ScenarioConfig config;
+  config.nodeCount = 50;
+  config.areaWidthM = 1000.0;
+  config.areaHeightM = 1000.0;
+  config.rayleighFading = true;
+  config.duration = SimTime::seconds(std::int64_t{400});
+  config.traffic.payloadBytes = 512;
+  config.traffic.packetsPerSecond = 20.0;
+  config.traffic.start = SimTime::seconds(std::int64_t{30});
+  config.traffic.stop = SimTime::seconds(std::int64_t{400});
+  return config;
+}
+
+std::vector<GroupSpec> makeRandomGroups(std::size_t nodeCount,
+                                        std::size_t groupCount,
+                                        std::size_t membersPerGroup,
+                                        std::size_t sourcesPerGroup, Rng& rng) {
+  MESH_REQUIRE(groupCount * (membersPerGroup + sourcesPerGroup) <= nodeCount);
+  std::vector<net::NodeId> ids(nodeCount);
+  std::iota(ids.begin(), ids.end(), net::NodeId{0});
+  // Fisher-Yates with our deterministic Rng.
+  for (std::size_t i = nodeCount - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniformInt(std::uint64_t{i + 1}));
+    std::swap(ids[i], ids[j]);
+  }
+  std::vector<GroupSpec> groups;
+  std::size_t next = 0;
+  for (std::size_t g = 0; g < groupCount; ++g) {
+    GroupSpec spec;
+    spec.group = static_cast<net::GroupId>(g + 1);
+    for (std::size_t s = 0; s < sourcesPerGroup; ++s) spec.sources.push_back(ids[next++]);
+    for (std::size_t m = 0; m < membersPerGroup; ++m) spec.members.push_back(ids[next++]);
+    groups.push_back(std::move(spec));
+  }
+  return groups;
+}
+
+Simulation::Simulation(ScenarioConfig config) : config_{std::move(config)} {
+  build();
+}
+
+std::vector<Vec2> Simulation::placeNodes(Rng& rng) const {
+  std::vector<Vec2> positions;
+  positions.reserve(config_.nodeCount);
+  for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+    positions.push_back(Vec2{rng.uniform(0.0, config_.areaWidthM),
+                             rng.uniform(0.0, config_.areaHeightM)});
+  }
+  return positions;
+}
+
+bool Simulation::diskGraphConnected(const std::vector<Vec2>& positions,
+                                    double rangeM) {
+  if (positions.empty()) return true;
+  std::vector<std::size_t> parent(positions.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const double range2 = rangeM * rangeM;
+  for (std::size_t a = 0; a < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      if (positions[a].distanceSquaredTo(positions[b]) <= range2) {
+        parent[find(a)] = find(b);
+      }
+    }
+  }
+  const std::size_t root = find(0);
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+void Simulation::build() {
+  Rng rng{config_.seed};
+
+  if (config_.protocol.metric) {
+    metric_ = metrics::makeMetric(*config_.protocol.metric,
+                                  config_.traffic.payloadBytes);
+  }
+
+  std::unique_ptr<phy::LinkModel> linkModel;
+  if (config_.linkModelFactory) {
+    Rng modelRng = rng.fork("linkmodel");
+    linkModel = config_.linkModelFactory(simulator_, modelRng);
+    positions_ = config_.fixedPositions;
+    if (config_.nodeCount == 0 && !positions_.empty()) {
+      config_.nodeCount = positions_.size();
+    }
+  } else if (config_.mobilityMaxSpeedMps > 0.0) {
+    phy::RandomWaypointMobility::Params mobilityParams;
+    mobilityParams.areaWidthM = config_.areaWidthM;
+    mobilityParams.areaHeightM = config_.areaHeightM;
+    mobilityParams.minSpeedMps = config_.mobilityMaxSpeedMps / 2.0;
+    mobilityParams.maxSpeedMps = config_.mobilityMaxSpeedMps;
+    mobilityParams.maxPause = SimTime::seconds(std::int64_t{5});
+    mobilityParams.horizon = config_.duration + SimTime::seconds(std::int64_t{10});
+    auto mobility = std::make_unique<phy::RandomWaypointMobility>(
+        config_.nodeCount, mobilityParams, rng.fork("mobility"));
+    positions_ = mobility->initialPositions();
+    std::unique_ptr<phy::FadingModel> fading;
+    if (config_.rayleighFading) {
+      fading = std::make_unique<phy::RayleighFading>();
+    } else {
+      fading = std::make_unique<phy::NoFading>();
+    }
+    linkModel = std::make_unique<phy::MobileGeometricLinkModel>(
+        simulator_, config_.node.phy, std::move(mobility),
+        std::make_unique<phy::TwoRayGroundModel>(), std::move(fading));
+  } else {
+    Rng placeRng = rng.fork("placement");
+    positions_ = placeNodes(placeRng);
+    if (config_.ensureConnected) {
+      // 250 m is the nominal (fading-free) reception range.
+      int attempts = 0;
+      while (!diskGraphConnected(positions_, 250.0)) {
+        positions_ = placeNodes(placeRng);
+        MESH_REQUIRE(++attempts < 1000);
+      }
+    }
+    std::unique_ptr<phy::FadingModel> fading;
+    if (config_.rayleighFading) {
+      fading = std::make_unique<phy::RayleighFading>();
+    } else {
+      fading = std::make_unique<phy::NoFading>();
+    }
+    linkModel = std::make_unique<phy::GeometricLinkModel>(
+        config_.node.phy, positions_, std::make_unique<phy::TwoRayGroundModel>(),
+        std::move(fading));
+  }
+
+  channel_ = std::make_unique<phy::Channel>(simulator_, std::move(linkModel),
+                                            rng.fork("channel"));
+  if (config_.mobilityMaxSpeedMps > 0.0) {
+    // Fading headroom gives the cache ~3.4x distance slack over the CS
+    // range (~1.3 km); refresh every 2 s so even 30 m/s nodes cannot
+    // outrun it.
+    channel_->enableReachabilityRefresh(SimTime::seconds(std::int64_t{2}));
+  }
+
+  MeshNodeConfig nodeConfig = config_.node;
+  nodeConfig.probeRateScale = config_.protocol.probeRateScale;
+  nodeConfig.treeRouting = config_.protocol.routing == Routing::Tree;
+  nodeConfig.adaptiveProbing.enabled = config_.protocol.adaptiveProbing;
+  nodes_.reserve(config_.nodeCount);
+  for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+    nodes_.push_back(std::make_unique<MeshNode>(
+        simulator_, *channel_, static_cast<net::NodeId>(i), nodeConfig,
+        metric_.get(), rng.fork("node", i)));
+  }
+
+  for (const GroupSpec& spec : config_.groups) {
+    for (const net::NodeId member : spec.members) {
+      nodes_.at(member)->joinGroup(spec.group);
+    }
+    for (const net::NodeId source : spec.sources) {
+      app::CbrConfig cbr = config_.traffic;
+      cbr.group = spec.group;
+      nodes_.at(source)->addCbrSource(cbr);
+    }
+  }
+
+  for (auto& node : nodes_) node->start();
+}
+
+RunResults Simulation::run() {
+  // A short drain window lets in-flight frames land before accounting.
+  simulator_.run(config_.duration + SimTime::seconds(std::int64_t{1}));
+
+  RunResults results;
+  results.eventsExecuted = simulator_.eventsExecuted();
+
+  for (const GroupSpec& spec : config_.groups) {
+    for (const net::NodeId source : spec.sources) {
+      const app::CbrSource* cbr = nodes_.at(source)->cbr();
+      MESH_ASSERT(cbr != nullptr);
+      results.packetsSent += cbr->packetsSent();
+      // Every member except the source itself (a source may be a member)
+      // should receive each packet.
+      std::uint64_t fanout = 0;
+      for (const net::NodeId member : spec.members) {
+        if (member != source) ++fanout;
+      }
+      results.expectedDeliveries += cbr->packetsSent() * fanout;
+    }
+    for (const net::NodeId member : spec.members) {
+      const auto& sink = nodes_.at(member)->sink();
+      results.packetsDelivered += sink.packetsReceived();
+    }
+  }
+
+  OnlineStats delay;
+  for (const auto& node : nodes_) {
+    results.probeBytesReceived += node->byteCounters().probeBytesReceived;
+    results.dataBytesReceived += node->byteCounters().dataBytesReceived;
+    results.controlBytesReceived += node->byteCounters().controlBytesReceived;
+    results.macBroadcastsSent += node->mac().stats().broadcastSent;
+    results.radioFramesCorrupted += node->radio().stats().framesCorrupted;
+    delay.merge(node->sink().delayStats());
+  }
+
+  results.pdr = results.expectedDeliveries > 0
+                    ? static_cast<double>(results.packetsDelivered) /
+                          static_cast<double>(results.expectedDeliveries)
+                    : 0.0;
+  const double activeS =
+      (config_.traffic.stop - config_.traffic.start).toSeconds();
+  std::uint64_t payloadBits = 0;
+  for (const GroupSpec& spec : config_.groups) {
+    for (const net::NodeId member : spec.members) {
+      payloadBits += nodes_.at(member)->sink().payloadBytesReceived() * 8;
+    }
+  }
+  results.throughputBps =
+      activeS > 0.0 ? static_cast<double>(payloadBits) / activeS : 0.0;
+  results.meanDelayS = delay.mean();
+  results.probeOverheadPct =
+      results.dataBytesReceived > 0
+          ? 100.0 * static_cast<double>(results.probeBytesReceived) /
+                static_cast<double>(results.dataBytesReceived)
+          : 0.0;
+  return results;
+}
+
+std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash>
+Simulation::dataEdgeCounts() const {
+  std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash> edges;
+  for (const auto& node : nodes_) {
+    for (const auto& [edge, count] : node->odmrp().dataEdgeCounts()) {
+      edges[edge] += count;
+    }
+  }
+  return edges;
+}
+
+}  // namespace mesh::harness

@@ -1,0 +1,166 @@
+#pragma once
+// Scenario description and the Simulation that executes it.
+//
+// A ScenarioConfig captures everything Section 4.1 specifies: 50 static
+// nodes placed uniformly at random in 1000 m × 1000 m, TwoRay propagation,
+// Rayleigh fading, 2 Mbps, two multicast groups of ten members with CBR
+// 512 B × 20 pkt/s sources, 400 s duration, δ = 30 ms, α = 20 ms — plus
+// the knobs the paper sweeps (metric, probing rate, number of sources).
+//
+// The same Simulation also runs the testbed emulation: a custom link-model
+// factory replaces random geometry with the Figure 4 floor graph.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/common/vec2.hpp"
+#include "mesh/harness/mesh_node.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/phy/link_model.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::harness {
+
+struct GroupSpec {
+  net::GroupId group{1};
+  std::vector<net::NodeId> sources;
+  std::vector<net::NodeId> members;
+};
+
+// Which protocol variant runs: the mesh-based ODMRP or the tree-based
+// MAODV-inspired protocol (Section 4.3), each original or with a metric.
+enum class Routing : std::uint8_t { Odmrp = 0, Tree = 1 };
+
+struct ProtocolSpec {
+  // nullopt -> original protocol (no probing, first-query-wins).
+  std::optional<metrics::MetricKind> metric;
+  double probeRateScale{1.0};
+  Routing routing{Routing::Odmrp};
+  bool adaptiveProbing{false};
+
+  static ProtocolSpec original() { return {}; }
+  static ProtocolSpec with(metrics::MetricKind kind, double rateScale = 1.0) {
+    return {kind, rateScale, Routing::Odmrp};
+  }
+  static ProtocolSpec treeOriginal() {
+    return {std::nullopt, 1.0, Routing::Tree};
+  }
+  static ProtocolSpec tree(metrics::MetricKind kind, double rateScale = 1.0) {
+    return {kind, rateScale, Routing::Tree};
+  }
+  static ProtocolSpec adaptive(metrics::MetricKind kind, double rateScale = 1.0) {
+    return {kind, rateScale, Routing::Odmrp, /*adaptiveProbing=*/true};
+  }
+  std::string name() const {
+    std::string base = routing == Routing::Tree ? "TREE" : "ODMRP";
+    std::string name;
+    if (!metric) {
+      name = base;
+    } else if (routing == Routing::Tree) {
+      name = "T-" + std::string{metrics::toString(*metric)};
+    } else {
+      name = metrics::toString(*metric);
+    }
+    if (adaptiveProbing) name += "*";  // adaptive probing marker
+    return name;
+  }
+};
+
+struct ScenarioConfig {
+  std::size_t nodeCount{50};
+  double areaWidthM{1000.0};
+  double areaHeightM{1000.0};
+  bool rayleighFading{true};
+  // Reject random placements whose 250 m disk graph is disconnected, so
+  // every topology can in principle deliver to every member.
+  bool ensureConnected{true};
+  // 0 = static mesh (the paper's premise). > 0: random-waypoint mobility
+  // with speeds in [max/2, max] and short pauses — the MANET regime the
+  // bench_mobility extension explores.
+  double mobilityMaxSpeedMps{0.0};
+
+  std::vector<GroupSpec> groups;
+  app::CbrConfig traffic;  // group id is overridden per GroupSpec
+
+  ProtocolSpec protocol;
+  SimTime duration{SimTime::seconds(std::int64_t{400})};
+  std::uint64_t seed{1};
+
+  MeshNodeConfig node;  // phy / mac / odmrp parameter blocks
+
+  // Optional: replace geometric placement entirely (testbed emulation).
+  // When set, positions are taken from `fixedPositions` (may be empty for
+  // display-free models) and the factory's model is used as-is. The
+  // simulator reference lets time-varying models read the clock.
+  std::function<std::unique_ptr<phy::LinkModel>(sim::Simulator&, Rng&)>
+      linkModelFactory;
+  std::vector<Vec2> fixedPositions;
+};
+
+// Convenience: the paper's Section 4.1 base scenario (before choosing a
+// protocol, seed, or source count).
+ScenarioConfig paperSimulationScenario();
+
+// Picks `groupCount` groups of `membersPerGroup` members and
+// `sourcesPerGroup` sources (sources are distinct from members, like the
+// paper's testbed setup) uniformly at random.
+std::vector<GroupSpec> makeRandomGroups(std::size_t nodeCount,
+                                        std::size_t groupCount,
+                                        std::size_t membersPerGroup,
+                                        std::size_t sourcesPerGroup, Rng& rng);
+
+// Aggregated outcome of one simulation run.
+struct RunResults {
+  std::uint64_t packetsSent{0};        // CBR packets across all sources
+  std::uint64_t expectedDeliveries{0}; // packetsSent × member fan-out
+  std::uint64_t packetsDelivered{0};
+  double pdr{0.0};                     // delivered / expected
+  double throughputBps{0.0};           // payload bits delivered per second
+  double meanDelayS{0.0};
+  std::uint64_t probeBytesReceived{0};
+  std::uint64_t dataBytesReceived{0};
+  std::uint64_t controlBytesReceived{0};
+  double probeOverheadPct{0.0};        // 100 × probe / data bytes received
+  std::uint64_t macBroadcastsSent{0};
+  std::uint64_t radioFramesCorrupted{0};
+  std::uint64_t eventsExecuted{0};
+};
+
+class Simulation {
+ public:
+  explicit Simulation(ScenarioConfig config);
+
+  // Runs to the configured duration (plus a small drain window) and
+  // returns the aggregated results.
+  RunResults run();
+
+  sim::Simulator& simulator() { return simulator_; }
+  phy::Channel& channel() { return *channel_; }
+  MeshNode& node(net::NodeId id) { return *nodes_.at(id); }
+  std::size_t nodeCount() const { return nodes_.size(); }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  // Union of per-node data-edge counts (for the Figure 5 tree dump).
+  std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash>
+  dataEdgeCounts() const;
+
+ private:
+  void build();
+  std::vector<Vec2> placeNodes(Rng& rng) const;
+  static bool diskGraphConnected(const std::vector<Vec2>& positions,
+                                 double rangeM);
+
+  ScenarioConfig config_;
+  sim::Simulator simulator_;
+  std::unique_ptr<metrics::Metric> metric_;  // null for original ODMRP
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<std::unique_ptr<MeshNode>> nodes_;
+  std::vector<Vec2> positions_;
+};
+
+}  // namespace mesh::harness

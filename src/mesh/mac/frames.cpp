@@ -1,0 +1,70 @@
+#include "mesh/mac/frames.hpp"
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::mac {
+
+const char* toString(FrameType type) {
+  switch (type) {
+    case FrameType::Data: return "DATA";
+    case FrameType::Rts: return "RTS";
+    case FrameType::Cts: return "CTS";
+    case FrameType::Ack: return "ACK";
+  }
+  return "?";
+}
+
+std::size_t Frame::headerBytes(FrameType type) {
+  switch (type) {
+    case FrameType::Data: return kDataHeaderBytes;
+    case FrameType::Rts: return kRtsBytes;
+    case FrameType::Cts: return kCtsBytes;
+    case FrameType::Ack: return kAckBytes;
+  }
+  return kDataHeaderBytes;
+}
+
+std::size_t dataFrameBytes(std::size_t payloadBytes) {
+  return kDataHeaderBytes + payloadBytes;
+}
+
+std::size_t Frame::sizeBytes() const {
+  return headerBytes(header.type) + (payload ? payload->sizeBytes() : 0);
+}
+
+std::vector<std::uint8_t> Frame::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeBytes());
+  net::ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(header.type));
+  w.u8(header.retry ? 1 : 0);
+  w.u16(header.durationUs);
+  w.u16(header.dst);
+  w.u16(header.src);
+  w.u16(header.seq);
+  // Pad the header to its standard on-air length (addresses we do not
+  // model, frame control subfields, FCS).
+  const std::size_t headerLen = headerBytes(header.type);
+  MESH_ASSERT(out.size() <= headerLen);
+  w.zeros(headerLen - out.size());
+  if (payload) w.bytes(payload->bytes());
+  return out;
+}
+
+std::optional<FrameHeader> Frame::parseHeader(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kCtsBytes) return std::nullopt;  // smallest frame
+  net::ByteReader r{bytes};
+  FrameHeader h;
+  const std::uint8_t rawType = r.u8();
+  if (rawType > static_cast<std::uint8_t>(FrameType::Ack)) return std::nullopt;
+  h.type = static_cast<FrameType>(rawType);
+  h.retry = r.u8() != 0;
+  h.durationUs = r.u16();
+  h.dst = r.u16();
+  h.src = r.u16();
+  h.seq = r.u16();
+  if (bytes.size() < headerBytes(h.type)) return std::nullopt;
+  return h;
+}
+
+}  // namespace mesh::mac

@@ -1,0 +1,61 @@
+#pragma once
+// 802.11 MAC frame wire format.
+//
+// Frames are serialized to bytes whose *lengths* match the real standard
+// (data header 24 B + FCS 4 B, RTS 20 B, CTS/ACK 14 B) so that airtime —
+// and therefore contention and overhead percentages — is accurate. Field
+// layout inside the header is our own compact encoding padded to the
+// standard length; nothing parses the padding.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/net/addr.hpp"
+#include "mesh/net/buffer.hpp"
+#include "mesh/net/packet.hpp"
+
+namespace mesh::mac {
+
+enum class FrameType : std::uint8_t { Data = 0, Rts = 1, Cts = 2, Ack = 3 };
+
+const char* toString(FrameType type);
+
+inline constexpr std::size_t kDataHeaderBytes = 28;  // 24 hdr + 4 FCS
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+inline constexpr std::size_t kAckBytes = 14;
+
+struct FrameHeader {
+  FrameType type{FrameType::Data};
+  bool retry{false};
+  // Remaining medium reservation after this frame, in microseconds (the
+  // NAV field). Saturates at u16 like the real standard.
+  std::uint16_t durationUs{0};
+  net::NodeId dst{net::kBroadcastNode};
+  net::NodeId src{net::kInvalidNode};
+  std::uint16_t seq{0};
+
+  bool isBroadcast() const { return dst == net::kBroadcastNode; }
+};
+
+// Serialized MAC frame = header bytes (padded to standard length) followed
+// by the payload bytes (empty for control frames).
+struct Frame {
+  FrameHeader header;
+  net::PacketPtr payload;  // null for RTS/CTS/ACK
+
+  // Total on-air MAC size in bytes.
+  std::size_t sizeBytes() const;
+
+  std::vector<std::uint8_t> serialize() const;
+  // Parses header + recovers the payload span. Returns nullopt on a
+  // malformed buffer (too short / unknown type).
+  static std::optional<FrameHeader> parseHeader(
+      std::span<const std::uint8_t> bytes);
+  static std::size_t headerBytes(FrameType type);
+};
+
+std::size_t dataFrameBytes(std::size_t payloadBytes);
+
+}  // namespace mesh::mac

@@ -1,0 +1,44 @@
+#pragma once
+// IEEE 802.11 DCF timing and policy parameters.
+//
+// Defaults are 802.11 DSSS (the 2 Mbps PHY of the paper): slot 20 µs,
+// SIFS 10 µs, DIFS = SIFS + 2·slot = 50 µs, CW 31..1023. Unicast uses
+// RTS/CTS above the threshold plus ACK/retransmission; broadcast uses
+// none of these — the asymmetry Section 2.1 of the paper builds on.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mesh/common/simtime.hpp"
+
+namespace mesh::mac {
+
+struct MacParams {
+  SimTime slotTime{SimTime::microseconds(std::int64_t{20})};
+  SimTime sifs{SimTime::microseconds(std::int64_t{10})};
+  SimTime difs{SimTime::microseconds(std::int64_t{50})};
+
+  // Contention window bounds (number of slots is drawn from [0, cw]).
+  int cwMin{31};
+  int cwMax{1023};
+
+  // Retry limits (802.11: short counter for frames protected by RTS/CTS
+  // i.e. >= threshold uses the *long* limit; we follow the common
+  // simulator convention: short limit for RTS and small data, long limit
+  // for RTS-protected data).
+  int shortRetryLimit{7};
+  int longRetryLimit{4};
+
+  // Unicast payloads strictly larger than this are preceded by RTS/CTS.
+  // The paper's description ("MAC layer unicast involves an RTS/CTS
+  // exchange before sending data") corresponds to a low threshold.
+  std::size_t rtsThresholdBytes{256};
+
+  // Transmit queue bound; overflow is dropped at the tail.
+  std::size_t queueLimit{64};
+
+  // MAC-level duplicate detection cache (unicast retransmissions).
+  std::size_t dupCacheSize{16};
+};
+
+}  // namespace mesh::mac

@@ -1,0 +1,289 @@
+#include "mesh/maodv/tree_multicast.hpp"
+
+#include <utility>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::maodv {
+
+using odmrp::DataHeader;
+using odmrp::JoinQuery;
+using odmrp::JoinReply;
+using odmrp::JoinReplyEntry;
+using odmrp::MessageType;
+
+TreeMulticast::TreeMulticast(sim::Simulator& simulator, net::NodeId self,
+                             TreeParams params, const metrics::Metric* metric,
+                             const metrics::NeighborTable* neighbors,
+                             SendFn send, Rng rng)
+    : simulator_{simulator},
+      self_{self},
+      params_{params},
+      metric_{metric},
+      neighbors_{neighbors},
+      send_{std::move(send)},
+      rng_{rng} {
+  MESH_REQUIRE(send_ != nullptr);
+  if (metric_ != nullptr) MESH_REQUIRE(neighbors_ != nullptr);
+}
+
+void TreeMulticast::startSource(net::GroupId group) {
+  if (queryTimers_.contains(group)) return;
+  auto timer = std::make_unique<sim::PeriodicTimer>(simulator_);
+  timer->start(
+      [this, first = true]() mutable -> SimTime {
+        if (first) {
+          first = false;
+          return params_.queryInterval.scaled(rng_.uniform(0.01, 0.2));
+        }
+        return params_.queryInterval.scaled(rng_.uniform(0.95, 1.05));
+      },
+      [this, group] { originateQuery(group); });
+  queryTimers_.emplace(group, std::move(timer));
+}
+
+void TreeMulticast::stopSource(net::GroupId group) { queryTimers_.erase(group); }
+
+void TreeMulticast::originateQuery(net::GroupId group) {
+  const std::uint32_t seq = querySeq_[group]++;
+  JoinQuery q;
+  q.group = group;
+  q.source = self_;
+  q.seq = seq;
+  q.metricKind = metric_ ? static_cast<std::uint8_t>(metric_->kind()) : 0;
+  q.prevHop = self_;
+  q.pathCost = metric_ ? metric_->initialPathCost() : 0.0;
+
+  RoundState& rs = rounds_[key(group, self_)];
+  rs = RoundState{};
+  rs.valid = true;
+  rs.seq = seq;
+  rs.treeReplySent = true;
+  rs.memberReplySent = true;
+
+  ++stats_.queriesOriginated;
+  auto packet = q.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  send_(std::move(packet));
+}
+
+void TreeMulticast::handleQuery(const JoinQuery& query, net::NodeId from) {
+  if (query.source == self_) return;
+  if (query.hopCount >= params_.maxHops) {
+    ++stats_.queriesDropped;
+    return;
+  }
+
+  double cost = 0.0;
+  if (metric_ != nullptr) {
+    const metrics::LinkMeasurement m = neighbors_->measure(from, simulator_.now());
+    cost = metric_->accumulate(query.pathCost, metric_->linkCost(m));
+  }
+
+  RoundState& rs = rounds_[key(query.group, query.source)];
+  if (rs.valid && query.seq < rs.seq) {
+    ++stats_.queriesDropped;
+    return;
+  }
+  const bool newRound = !rs.valid || query.seq > rs.seq;
+
+  if (newRound) {
+    rs = RoundState{};
+    rs.valid = true;
+    rs.seq = query.seq;
+    rs.bestCost = cost;
+    rs.upstream = from;
+    rs.alphaDeadline = simulator_.now() + params_.dupForwardAlpha;
+    forwardQuery(query, cost, /*duplicate=*/false);
+
+    if (members_.contains(query.group)) {
+      if (metric_ != nullptr) {
+        const net::GroupId group = query.group;
+        const net::NodeId source = query.source;
+        const std::uint32_t seq = query.seq;
+        simulator_.schedule(params_.memberWindowDelta, [this, group, source, seq] {
+          auto it = rounds_.find(key(group, source));
+          if (it == rounds_.end() || !it->second.valid || it->second.seq != seq) return;
+          if (it->second.memberReplySent) return;
+          sendMemberReply(group, source);
+        });
+      } else {
+        sendMemberReply(query.group, query.source);
+      }
+    }
+    return;
+  }
+
+  if (metric_ != nullptr && metric_->better(cost, rs.bestCost)) {
+    rs.bestCost = cost;
+    rs.upstream = from;
+    if (simulator_.now() <= rs.alphaDeadline) {
+      forwardQuery(query, cost, /*duplicate=*/true);
+    } else {
+      ++stats_.queriesDropped;
+    }
+  } else {
+    ++stats_.queriesDropped;
+  }
+}
+
+void TreeMulticast::forwardQuery(const JoinQuery& received, double newCost,
+                                 bool duplicate) {
+  JoinQuery out = received;
+  out.hopCount = static_cast<std::uint8_t>(received.hopCount + 1);
+  out.prevHop = self_;
+  if (metric_ != nullptr) out.pathCost = newCost;
+  if (duplicate) {
+    ++stats_.duplicateQueriesForwarded;
+  } else {
+    ++stats_.queriesForwarded;
+  }
+  auto packet = out.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  sendControl(std::move(packet), params_.queryJitterMax);
+}
+
+void TreeMulticast::sendMemberReply(net::GroupId group, net::NodeId source) {
+  RoundState& rs = rounds_[key(group, source)];
+  MESH_ASSERT(rs.valid);
+  if (rs.upstream == net::kInvalidNode) return;
+  rs.memberReplySent = true;
+
+  JoinReply reply;
+  reply.group = group;
+  reply.sender = self_;
+  reply.seq = rs.seq;
+  reply.entries.push_back(JoinReplyEntry{source, rs.upstream});
+
+  ++stats_.repliesOriginated;
+  auto packet = reply.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  sendControl(std::move(packet), params_.replyJitterMax);
+}
+
+void TreeMulticast::handleReply(const JoinReply& reply, net::NodeId from) {
+  (void)from;
+  JoinReply out;
+  out.group = reply.group;
+  out.sender = self_;
+  out.seq = reply.seq;
+
+  for (const JoinReplyEntry& entry : reply.entries) {
+    if (entry.nextHop != self_) continue;
+    if (entry.source == self_) {
+      ++stats_.routeEstablished;
+      continue;
+    }
+    auto it = rounds_.find(key(reply.group, entry.source));
+    if (it == rounds_.end() || !it->second.valid || it->second.seq != reply.seq) {
+      continue;
+    }
+    RoundState& rs = it->second;
+    // Per-(group, source) tree membership, single-round lifetime: the
+    // defining difference from ODMRP's per-group forwarding mesh.
+    treeExpiry_[key(reply.group, entry.source)] =
+        simulator_.now() + params_.forwarderTimeout;
+    if (!rs.treeReplySent && rs.upstream != net::kInvalidNode) {
+      rs.treeReplySent = true;
+      out.entries.push_back(JoinReplyEntry{entry.source, rs.upstream});
+    }
+  }
+
+  if (!out.entries.empty()) {
+    ++stats_.repliesForwarded;
+    auto packet = out.toPacket(simulator_.now());
+    stats_.controlBytesSent += packet->sizeBytes();
+    sendControl(std::move(packet), params_.replyJitterMax);
+  }
+}
+
+bool TreeMulticast::isTreeForwarder(net::GroupId group, net::NodeId source) const {
+  const auto it = treeExpiry_.find(key(group, source));
+  return it != treeExpiry_.end() && it->second > simulator_.now();
+}
+
+bool TreeMulticast::isForwarder(net::GroupId group) const {
+  for (const auto& [k, expiry] : treeExpiry_) {
+    if (static_cast<net::GroupId>(k >> 16) == group && expiry > simulator_.now()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TreeMulticast::sendData(net::GroupId group, std::vector<std::uint8_t> payload) {
+  DataHeader header;
+  header.group = group;
+  header.source = self_;
+  header.seq = dataSeq_[group]++;
+  dataDupCache_.checkAndInsert(group, self_, header.seq);
+
+  auto packet = net::Packet::make(net::PacketKind::Data, self_,
+                                  header.serializeWith(payload), simulator_.now());
+  ++stats_.dataOriginated;
+  stats_.dataBytesSent += packet->sizeBytes();
+  send_(packet);
+}
+
+void TreeMulticast::handleData(const net::PacketPtr& packet, net::NodeId from) {
+  std::span<const std::uint8_t> payload;
+  const auto header = DataHeader::parse(packet->bytes(), &payload);
+  if (!header) return;
+  if (header->source == self_) return;
+
+  if (!dataDupCache_.checkAndInsert(header->group, header->source, header->seq)) {
+    ++stats_.dataDuplicates;
+    return;
+  }
+  ++dataEdges_[net::LinkKey{from, self_}];
+
+  if (members_.contains(header->group)) {
+    ++stats_.dataDelivered;
+    if (deliver_) {
+      deliver_(header->group, header->source, header->seq, packet, payload);
+    }
+  }
+
+  // Forward only on this source's tree — no per-group mesh.
+  if (isTreeForwarder(header->group, header->source)) {
+    ++stats_.dataForwarded;
+    stats_.dataBytesSent += packet->sizeBytes();
+    if (params_.dataJitterMax.isZero()) {
+      send_(packet);
+    } else {
+      const SimTime jitter = params_.dataJitterMax.scaled(rng_.uniform(0.0, 1.0));
+      simulator_.schedule(jitter, [this, packet] { send_(packet); });
+    }
+  }
+}
+
+void TreeMulticast::onPacket(const net::PacketPtr& packet, net::NodeId from) {
+  const auto type = odmrp::peekType(packet->bytes());
+  if (!type) return;
+  switch (*type) {
+    case MessageType::JoinQuery: {
+      const auto query = JoinQuery::parse(packet->bytes());
+      if (query) handleQuery(*query, from);
+      break;
+    }
+    case MessageType::JoinReply: {
+      const auto reply = JoinReply::parse(packet->bytes());
+      if (reply) handleReply(*reply, from);
+      break;
+    }
+    case MessageType::Data:
+      handleData(packet, from);
+      break;
+  }
+}
+
+void TreeMulticast::sendControl(net::PacketPtr packet, SimTime jitterMax) {
+  if (jitterMax.isZero()) {
+    send_(std::move(packet));
+    return;
+  }
+  const SimTime jitter = jitterMax.scaled(rng_.uniform(0.0, 1.0));
+  simulator_.schedule(jitter, [this, packet = std::move(packet)] { send_(packet); });
+}
+
+}  // namespace mesh::maodv

@@ -1,0 +1,89 @@
+#pragma once
+// LossWindow: forward delivery-ratio estimator over the last W probes.
+//
+// This is the De Couto-style ETX estimator restricted to the *forward*
+// direction, as Section 2.2 prescribes for broadcast: the receiver counts
+// how many of the sender's last W periodic probes it heard. Because the
+// receiver only observes arrivals, silence has to be accounted for at
+// query time: when `df()` is asked for, probes that *should* have arrived
+// since the last one (gauged by the probe interval) count as lost. Without
+// this, a link that dies keeps its last ratio forever.
+
+#include <cstdint>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/common/simtime.hpp"
+
+namespace mesh::metrics {
+
+class LossWindow {
+ public:
+  explicit LossWindow(std::uint32_t windowSize = 10)
+      : windowSize_{windowSize} {
+    MESH_REQUIRE(windowSize >= 1 && windowSize <= 64);
+  }
+
+  // Record reception of probe `seq` at time `now`. Sequence numbers start
+  // at 0 and increase by 1 per probe; reordering cannot happen on a
+  // broadcast channel, but stale duplicates are ignored defensively.
+  void onProbe(std::uint32_t seq, SimTime now) {
+    if (!any_) {
+      any_ = true;
+      bits_ = 1;
+      hiSeq_ = seq;
+    } else if (seq > hiSeq_) {
+      const std::uint32_t shift = seq - hiSeq_;
+      bits_ = shift >= 64 ? 0 : bits_ << shift;
+      bits_ |= 1;
+      hiSeq_ = seq;
+    } else if (hiSeq_ - seq < 64) {
+      bits_ |= (std::uint64_t{1} << (hiSeq_ - seq));
+    }
+    lastArrival_ = now;
+  }
+
+  bool hasSamples() const { return any_; }
+  SimTime lastArrival() const { return lastArrival_; }
+
+  // Forward delivery ratio at time `now`, assuming the sender probes every
+  // `interval`. Returns 0 when no probe was ever heard.
+  double df(SimTime now, SimTime interval) const {
+    if (!any_) return 0.0;
+    // Probes expected but unheard since the last arrival. The first one is
+    // only "due" a full interval after the last arrival.
+    std::uint32_t overdue = 0;
+    if (interval > SimTime::zero() && now > lastArrival_) {
+      // A probe is counted lost only once a *full* interval has elapsed
+      // past its due time (strictly-greater at the boundary): the sender
+      // jitters its schedule, so "due exactly now" is not yet a loss.
+      overdue = static_cast<std::uint32_t>(
+          ((now - lastArrival_).ns() - 1) / interval.ns());
+    }
+    if (overdue >= windowSize_) return 0.0;
+
+    // Window covers the last (windowSize - overdue) actual probes plus the
+    // `overdue` phantom losses.
+    const std::uint32_t visible = windowSize_ - overdue;
+    std::uint32_t received = 0;
+    for (std::uint32_t i = 0; i < visible && i <= hiSeq_; ++i) {
+      if (i < 64 && (bits_ >> i) & 1) ++received;
+    }
+    // During warm-up fewer than windowSize probes have ever been sent;
+    // the denominator is what the sender actually emitted (hiSeq_+1),
+    // plus the overdue ones.
+    const std::uint64_t everSent = static_cast<std::uint64_t>(hiSeq_) + 1 + overdue;
+    const std::uint32_t denominator =
+        everSent < windowSize_ ? static_cast<std::uint32_t>(everSent) : windowSize_;
+    MESH_ASSERT(denominator >= 1);
+    return static_cast<double>(received) / denominator;
+  }
+
+ private:
+  std::uint32_t windowSize_;
+  std::uint64_t bits_{0};     // bit i: probe (hiSeq_ - i) received
+  std::uint32_t hiSeq_{0};
+  bool any_{false};
+  SimTime lastArrival_{SimTime::zero()};
+};
+
+}  // namespace mesh::metrics

@@ -1,0 +1,144 @@
+#include "mesh/metrics/metric.hpp"
+
+#include <limits>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::metrics {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using namespace mesh::time_literals;
+
+class HopMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::Hop; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement&) const override { return 1.0; }
+  double accumulate(double path, double link) const override { return path + link; }
+  ProbeConfig probeConfig() const override { return {ProbeMode::None, SimTime::zero(), 0}; }
+};
+
+class EtxMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::Etx; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement& m) const override {
+    // Forward direction only: ETX = 1/df (Section 2.2). No reverse term.
+    return m.df > 0.0 ? 1.0 / m.df : kInf;
+  }
+  double accumulate(double path, double link) const override { return path + link; }
+  ProbeConfig probeConfig() const override { return {ProbeMode::Single, 5_s, 10}; }
+};
+
+class EttMetric final : public Metric {
+ public:
+  explicit EttMetric(std::size_t nominalPayloadBytes)
+      : nominalBits_{static_cast<double>(nominalPayloadBytes) * 8.0} {}
+
+  MetricKind kind() const override { return MetricKind::Ett; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement& m) const override {
+    // ETT = ETX · S/B: expected airtime to get one data packet across.
+    // ETX comes from the pair's small probes; B from the pair dispersion.
+    if (m.df <= 0.0 || !m.hasBandwidth || m.bandwidthBps <= 0.0) return kInf;
+    return (1.0 / m.df) * (nominalBits_ / m.bandwidthBps);
+  }
+  double accumulate(double path, double link) const override { return path + link; }
+  ProbeConfig probeConfig() const override { return {ProbeMode::Pair, 10_s, 10}; }
+
+ private:
+  double nominalBits_;
+};
+
+class PpMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::Pp; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement& m) const override {
+    // The EWMA'd pair delay, including the multiplicative 20% penalties
+    // already applied by the estimator on probe loss. On a very lossy link
+    // the repeated penalty makes this blow up exponentially over time —
+    // the aggressiveness Sections 4.2.1/5.3 attribute PP's wins to.
+    return m.hasDelay ? m.delayS : kInf;
+  }
+  double accumulate(double path, double link) const override { return path + link; }
+  ProbeConfig probeConfig() const override { return {ProbeMode::Pair, 10_s, 10}; }
+};
+
+class MetxMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::Metx; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement& m) const override { return m.df; }
+  double accumulate(double path, double link) const override {
+    // Eq. (1) with W = 1: every failure on this link forces the *entire*
+    // upstream path to deliver again, so the upstream expectation divides
+    // by this link's success probability too.
+    return link > 0.0 ? (path + 1.0) / link : kInf;
+  }
+  ProbeConfig probeConfig() const override { return {ProbeMode::Single, 5_s, 10}; }
+};
+
+class SppMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::Spp; }
+  double initialPathCost() const override { return 1.0; }
+  double linkCost(const LinkMeasurement& m) const override { return m.df; }
+  double accumulate(double path, double link) const override { return path * link; }
+  // Probability: higher is better — the one maximize-direction metric.
+  bool better(double a, double b) const override { return a > b; }
+  double worstPathCost() const override { return -1.0; }  // below any probability
+  ProbeConfig probeConfig() const override { return {ProbeMode::Single, 5_s, 10}; }
+};
+
+class BiEtxMetric final : public Metric {
+ public:
+  MetricKind kind() const override { return MetricKind::BiEtx; }
+  double initialPathCost() const override { return 0.0; }
+  double linkCost(const LinkMeasurement& m) const override {
+    // The unicast ETX of De Couto et al.: expected DATA+ACK transmissions
+    // = 1 / (df · dr). Under link-layer broadcast there is no ACK, so the
+    // dr factor only *distorts* the forward-path quality (Section 2.1).
+    if (m.df <= 0.0 || !m.hasReverse || m.reverseDf <= 0.0) return kInf;
+    return 1.0 / (m.df * m.reverseDf);
+  }
+  double accumulate(double path, double link) const override { return path + link; }
+  ProbeConfig probeConfig() const override {
+    return {ProbeMode::Single, 5_s, 10, /*neighborReports=*/true};
+  }
+};
+
+}  // namespace
+
+const char* toString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Hop: return "HOP";
+    case MetricKind::Etx: return "ETX";
+    case MetricKind::Ett: return "ETT";
+    case MetricKind::Pp: return "PP";
+    case MetricKind::Metx: return "METX";
+    case MetricKind::Spp: return "SPP";
+    case MetricKind::BiEtx: return "BiETX";
+  }
+  return "?";
+}
+
+double Metric::worstPathCost() const { return kInf; }
+
+std::unique_ptr<Metric> makeMetric(MetricKind kind, std::size_t nominalPayloadBytes) {
+  switch (kind) {
+    case MetricKind::Hop: return std::make_unique<HopMetric>();
+    case MetricKind::Etx: return std::make_unique<EtxMetric>();
+    case MetricKind::Ett: return std::make_unique<EttMetric>(nominalPayloadBytes);
+    case MetricKind::Pp: return std::make_unique<PpMetric>();
+    case MetricKind::Metx: return std::make_unique<MetxMetric>();
+    case MetricKind::Spp: return std::make_unique<SppMetric>();
+    case MetricKind::BiEtx: return std::make_unique<BiEtxMetric>();
+  }
+  MESH_REQUIRE(false);
+  return nullptr;
+}
+
+}  // namespace mesh::metrics

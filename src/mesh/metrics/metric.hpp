@@ -1,0 +1,121 @@
+#pragma once
+// The five multicast link-quality metrics (plus hop count), Section 2.2.
+//
+// A metric is a policy triple:
+//
+//   linkCost(measurement)      — scalar cost of one directed link, computed
+//                                by the *receiver* from its measurements of
+//                                the forward direction only;
+//   accumulate(path, link)     — how a JOIN QUERY's path cost grows as it
+//                                crosses that link;
+//   better(a, b)               — the ordering used when a group member
+//                                compares buffered duplicate queries.
+//
+// Path costs are a single double so they serialize into the JOIN QUERY
+// unchanged for every metric.
+//
+//   ETX   link = 1/df               path = Σ link           minimize
+//   ETT   link = (1/df)·(S/B)       path = Σ link           minimize
+//   PP    link = EWMA pair delay    path = Σ link           minimize
+//   METX  link = df                 path' = (path+1)/df     minimize
+//   SPP   link = df                 path' = path·df         MAXIMIZE
+//   HOP   link = 1                  path = Σ link           minimize
+//
+// The METX recurrence reproduces Eq. (2) exactly: with links 1..n and
+// success probabilities p_i, unrolling path' = (path+1)/p_k from k=1..n
+// yields Σ_{i=1..n} 1/Π_{j=i..n} p_j — the expected total number of
+// transmissions by all nodes on the path until the receiver holds the
+// packet, under a broadcast (no-retransmission) link layer where upstream
+// must resend whenever any downstream link fails.
+//
+// SPP is the probability that a packet released by the source crosses the
+// whole path in one go; maximizing it (equivalently minimizing 1/SPP, the
+// expected number of *source* transmissions) avoids any path containing
+// even one bad link, since a single low df collapses the product.
+
+#include <memory>
+#include <string>
+
+#include "mesh/common/simtime.hpp"
+
+namespace mesh::metrics {
+
+enum class MetricKind : std::uint8_t {
+  Hop = 0,
+  Etx = 1,
+  Ett = 2,
+  Pp = 3,
+  Metx = 4,
+  Spp = 5,
+  // Unicast-style bidirectional ETX (1 / (df · dr)). NOT one of the
+  // paper's multicast metrics: it exists to demonstrate Section 2.1's
+  // point that charging the reverse direction distorts broadcast routing.
+  BiEtx = 6,
+};
+
+const char* toString(MetricKind kind);
+
+// What the probing subsystem has learned about one directed link
+// (neighbor -> this node), at query time.
+struct LinkMeasurement {
+  double df{0.0};             // forward delivery ratio in [0, 1]
+  bool hasDelay{false};
+  double delayS{0.0};         // EWMA packet-pair delay, seconds (PP)
+  bool hasBandwidth{false};
+  double bandwidthBps{0.0};   // packet-pair bandwidth estimate (ETT)
+  bool hasReverse{false};
+  double reverseDf{0.0};      // reverse delivery ratio (neighbor report)
+};
+
+enum class ProbeMode : std::uint8_t { None = 0, Single = 1, Pair = 2 };
+
+struct ProbeConfig {
+  ProbeMode mode{ProbeMode::None};
+  SimTime interval{SimTime::zero()};
+  std::uint32_t lossWindow{10};
+  // Attach a De Couto-style neighbor report (df per heard neighbor) to
+  // every probe, enabling reverse-direction measurement. Costs probe
+  // bytes; only BiETX turns it on.
+  bool neighborReports{false};
+};
+
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  virtual MetricKind kind() const = 0;
+  const char* name() const { return toString(kind()); }
+
+  // Path cost of the empty path (at the source).
+  virtual double initialPathCost() const = 0;
+
+  // Cost of one link given the receiver's measurements. May be +inf
+  // (unusable / unmeasured link); never NaN.
+  virtual double linkCost(const LinkMeasurement& m) const = 0;
+
+  // Path cost after extending `pathCost` over a link of cost `linkCost`.
+  virtual double accumulate(double pathCost, double linkCost) const = 0;
+
+  // Strict "a is a better path than b".
+  virtual bool better(double a, double b) const { return a < b; }
+
+  // Worst possible path cost (used as the sentinel before any query is
+  // buffered). better(x, worst) holds for every reachable x.
+  virtual double worstPathCost() const;
+
+  // How this metric probes. The harness may scale the interval to study
+  // the probing-rate tradeoff (Section 4.2.2).
+  virtual ProbeConfig probeConfig() const = 0;
+};
+
+// Factory. `nominalPayloadBytes` parameterizes ETT's S/B term (the paper
+// uses the CBR payload size).
+std::unique_ptr<Metric> makeMetric(MetricKind kind,
+                                   std::size_t nominalPayloadBytes = 512);
+
+// All kinds in the order the paper's Figure 2 lists them.
+inline constexpr MetricKind kAllMetricKinds[] = {
+    MetricKind::Ett, MetricKind::Etx, MetricKind::Metx,
+    MetricKind::Pp, MetricKind::Spp};
+
+}  // namespace mesh::metrics

@@ -1,0 +1,142 @@
+#include "mesh/metrics/neighbor_table.hpp"
+
+namespace mesh::metrics {
+
+NeighborTable::Entry& NeighborTable::entryFor(net::NodeId neighbor) {
+  auto it = entries_.find(neighbor);
+  if (it == entries_.end()) {
+    it = entries_.emplace(neighbor, Entry{lossWindowSize_, historyWeight_}).first;
+  }
+  return it->second;
+}
+
+void NeighborTable::finalizePending(Entry& e) {
+  if (e.pairPending && !e.pairComplete) {
+    // The pair's large probe never showed up: 20% penalty (paper §2.2).
+    e.delayEwma.scale(lossPenalty_);
+    ++stats_.pairPenalties;
+  }
+  e.pairPending = false;
+  e.pairComplete = false;
+}
+
+void NeighborTable::finalizeStalePairs(SimTime now, SimTime maxAge) {
+  for (auto& [neighbor, entry] : entries_) {
+    (void)neighbor;
+    if (entry.pairPending && !entry.pairComplete &&
+        now - entry.smallArrival > maxAge) {
+      finalizePending(entry);
+    }
+  }
+}
+
+void NeighborTable::penalizeSequenceGap(Entry& e, std::uint32_t seq) {
+  // Pairs between the last one we heard anything of and this one vanished
+  // completely ("either the large or the small packet is lost" — here,
+  // both). One 20% penalty per vanished pair, capped so a long radio
+  // silence cannot overflow the cost into meaninglessness.
+  if (e.anyPairSeen && seq > e.highestPairSeq + 1) {
+    std::uint32_t missed = seq - e.highestPairSeq - 1;
+    missed = std::min(missed, 10u);
+    for (std::uint32_t i = 0; i < missed; ++i) {
+      e.delayEwma.scale(lossPenalty_);
+      ++stats_.pairPenalties;
+    }
+  }
+  if (!e.anyPairSeen || seq > e.highestPairSeq) {
+    e.anyPairSeen = true;
+    e.highestPairSeq = seq;
+  }
+}
+
+std::vector<std::pair<net::NodeId, double>> NeighborTable::snapshotDf(
+    SimTime now) const {
+  std::vector<std::pair<net::NodeId, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [neighbor, entry] : entries_) {
+    const double df = entry.lossWindow.df(now, probeInterval_);
+    if (df > 0.0) out.emplace_back(neighbor, df);
+  }
+  return out;
+}
+
+void NeighborTable::onProbe(const ProbeMessage& probe, SimTime now,
+                            net::NodeId self) {
+  Entry& e = entryFor(probe.sender);
+  ++stats_.probesAccepted;
+  if (self != net::kInvalidNode) {
+    for (const ReportEntry& entry : probe.report) {
+      if (entry.neighbor == self) {
+        e.hasReverse = true;
+        e.reverseDf = entry.df();
+        e.reverseUpdatedAt = now;
+        break;
+      }
+    }
+  }
+  if (probe.type != ProbeType::Single) penalizeSequenceGap(e, probe.seq);
+
+  switch (probe.type) {
+    case ProbeType::Single:
+      e.lossWindow.onProbe(probe.seq, now);
+      break;
+
+    case ProbeType::PairSmall:
+      // Smalls double as the loss stream (ETT computes its ETX from them).
+      e.lossWindow.onProbe(probe.seq, now);
+      if (e.pairPending && e.pairSeq < probe.seq) finalizePending(e);
+      e.pairPending = true;
+      e.pairComplete = false;
+      e.pairSeq = probe.seq;
+      e.smallArrival = now;
+      break;
+
+    case ProbeType::PairLarge:
+      if (e.pairPending && e.pairSeq == probe.seq && !e.pairComplete) {
+        const double delayS = (now - e.smallArrival).toSeconds();
+        if (delayS > 0.0) {
+          e.delayEwma.update(delayS);
+          e.bandwidthEwma.update(static_cast<double>(kLargeProbeBytes) * 8.0 /
+                                 delayS);
+          ++stats_.pairsCompleted;
+        }
+        e.pairComplete = true;
+      } else {
+        // Large without its small: the small was lost — penalty. Any older
+        // pending pair is finalized (and penalized) too.
+        if (e.pairPending && e.pairSeq < probe.seq) finalizePending(e);
+        e.delayEwma.scale(lossPenalty_);
+        ++stats_.pairPenalties;
+        // Mark this pair as consumed so a duplicate large cannot
+        // double-penalize.
+        e.pairPending = true;
+        e.pairComplete = true;
+        e.pairSeq = probe.seq;
+      }
+      break;
+  }
+}
+
+LinkMeasurement NeighborTable::measure(net::NodeId neighbor, SimTime now) const {
+  LinkMeasurement m;
+  const auto it = entries_.find(neighbor);
+  if (it == entries_.end()) return m;
+  const Entry& e = it->second;
+  m.df = e.lossWindow.df(now, probeInterval_);
+  if (e.delayEwma.hasValue()) {
+    m.hasDelay = true;
+    m.delayS = e.delayEwma.value();
+  }
+  if (e.bandwidthEwma.hasValue()) {
+    m.hasBandwidth = true;
+    m.bandwidthBps = e.bandwidthEwma.value();
+  }
+  // Reverse information goes stale if the neighbor stops reporting.
+  if (e.hasReverse && now - e.reverseUpdatedAt <= probeInterval_ * 4) {
+    m.hasReverse = true;
+    m.reverseDf = e.reverseDf;
+  }
+  return m;
+}
+
+}  // namespace mesh::metrics

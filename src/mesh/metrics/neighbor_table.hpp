@@ -1,0 +1,111 @@
+#pragma once
+// NeighborTable: per-node record of incoming-link quality.
+//
+// Section 3.1: "Each node maintains a NEIGHBOR_TABLE that records the
+// costs of the links from its neighbors to itself." This class stores the
+// *measurements* (loss window, pair-delay EWMA, bandwidth estimate); the
+// Metric policy turns a measurement into a cost when a JOIN QUERY passes
+// through.
+//
+// Packet-pair bookkeeping: a pair (small, large) shares a sequence number.
+// The delay sample is the small→large inter-arrival. A pair missing one
+// of its probes imposes the paper's 20% multiplicative penalty on the
+// delay EWMA. Incomplete pairs are detected when the large arrives without
+// its small, or when a newer pair supersedes a pending one.
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mesh/common/ewma.hpp"
+#include "mesh/common/simtime.hpp"
+#include "mesh/metrics/loss_window.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/metrics/probe_messages.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::metrics {
+
+struct NeighborTableStats {
+  std::uint64_t probesAccepted{0};
+  std::uint64_t pairsCompleted{0};
+  std::uint64_t pairPenalties{0};  // 20% penalties applied
+};
+
+class NeighborTable {
+ public:
+  // `probeInterval` is how often each neighbor is expected to probe; it
+  // drives the loss-window decay for silent links. `historyWeight` is the
+  // EWMA weight of the accumulated average (0.9 in the paper) and
+  // `lossPenalty` the multiplicative penalty factor (1.2).
+  NeighborTable(SimTime probeInterval, std::uint32_t lossWindowSize = 10,
+                double historyWeight = 0.9, double lossPenalty = 1.2)
+      : probeInterval_{probeInterval},
+        lossWindowSize_{lossWindowSize},
+        historyWeight_{historyWeight},
+        lossPenalty_{lossPenalty} {}
+
+  // `self` identifies this node so the probe's neighbor report can be
+  // searched for our own reverse-direction entry.
+  void onProbe(const ProbeMessage& probe, SimTime now,
+               net::NodeId self = net::kInvalidNode);
+
+  // Applies the loss penalty to every pair still missing its large probe
+  // after `maxAge`. Called periodically by the ProbeService so a lossy
+  // link's cost starts compounding immediately rather than only when the
+  // next pair happens to arrive (a pair whose probes are *both* lost is
+  // still undetectable, as on real hardware).
+  void finalizeStalePairs(SimTime now, SimTime maxAge);
+
+  // Measurement of the link `neighbor -> self` at time `now`; a neighbor
+  // never heard from yields the all-zero (unusable) measurement.
+  LinkMeasurement measure(net::NodeId neighbor, SimTime now) const;
+
+  bool knows(net::NodeId neighbor) const { return entries_.contains(neighbor); }
+
+  // Snapshot of (neighbor, df) for building our own neighbor reports.
+  std::vector<std::pair<net::NodeId, double>> snapshotDf(SimTime now) const;
+  std::size_t size() const { return entries_.size(); }
+  const NeighborTableStats& stats() const { return stats_; }
+  SimTime probeInterval() const { return probeInterval_; }
+
+ private:
+  struct Entry {
+    LossWindow lossWindow;
+    Ewma delayEwma;
+    Ewma bandwidthEwma;
+    // Pending packet pair.
+    bool pairPending{false};
+    bool pairComplete{false};
+    std::uint32_t pairSeq{0};
+    SimTime smallArrival{SimTime::zero()};
+    // Highest pair sequence ever observed (for whole-pair-loss detection).
+    bool anyPairSeen{false};
+    std::uint32_t highestPairSeq{0};
+    // Reverse direction (from the neighbor's report about us).
+    bool hasReverse{false};
+    double reverseDf{0.0};
+    SimTime reverseUpdatedAt{SimTime::zero()};
+
+    Entry(std::uint32_t windowSize, double historyWeight)
+        : lossWindow{windowSize},
+          delayEwma{historyWeight},
+          bandwidthEwma{historyWeight} {}
+  };
+
+  Entry& entryFor(net::NodeId neighbor);
+  void finalizePending(Entry& e);
+  // Penalizes pairs whose *both* probes vanished, detected by the jump in
+  // the pair sequence number when the next probe arrives.
+  void penalizeSequenceGap(Entry& e, std::uint32_t seq);
+
+  SimTime probeInterval_;
+  std::uint32_t lossWindowSize_;
+  double historyWeight_;
+  double lossPenalty_;
+  std::unordered_map<net::NodeId, Entry> entries_;
+  NeighborTableStats stats_;
+};
+
+}  // namespace mesh::metrics

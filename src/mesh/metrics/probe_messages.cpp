@@ -1,0 +1,55 @@
+#include "mesh/metrics/probe_messages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::metrics {
+
+std::uint8_t ReportEntry::quantize(double df) {
+  const double clamped = std::clamp(df, 0.0, 1.0);
+  return static_cast<std::uint8_t>(clamped * 255.0 + 0.5);
+}
+
+std::vector<std::uint8_t> ProbeMessage::serialize() const {
+  MESH_REQUIRE(report.size() <= 255);
+  std::vector<std::uint8_t> out;
+  const std::size_t target =
+      type == ProbeType::PairLarge ? kLargeProbeBytes : kSmallProbeBytes;
+  out.reserve(target);
+  net::ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(sender);
+  w.u32(seq);
+  w.u8(static_cast<std::uint8_t>(report.size()));
+  for (const ReportEntry& entry : report) {
+    w.u16(entry.neighbor);
+    w.u8(entry.dfQuantized);
+  }
+  if (out.size() < target) w.zeros(target - out.size());
+  return out;
+}
+
+std::optional<ProbeMessage> ProbeMessage::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  net::ByteReader r{bytes};
+  ProbeMessage m;
+  const std::uint8_t rawType = r.u8();
+  if (rawType > static_cast<std::uint8_t>(ProbeType::PairLarge)) return std::nullopt;
+  m.type = static_cast<ProbeType>(rawType);
+  m.sender = r.u16();
+  m.seq = r.u32();
+  const std::uint8_t count = r.u8();
+  if (r.remaining() < static_cast<std::size_t>(count) * 3) return std::nullopt;
+  m.report.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    ReportEntry entry;
+    entry.neighbor = r.u16();
+    entry.dfQuantized = r.u8();
+    m.report.push_back(entry);
+  }
+  return m;
+}
+
+}  // namespace mesh::metrics

@@ -1,0 +1,64 @@
+#pragma once
+// Probe packet wire format.
+//
+// All metrics measure links with periodic *broadcast* probes (Section 2.2:
+// "All metrics involve sending periodic probes from a node to each of its
+// neighbors" — adapted to broadcast so the measurement exercises exactly
+// the transmission mode the data will use).
+//
+//  * Single probes (ETX, METX, SPP): one small packet per interval.
+//  * Packet pairs (PP, ETT): a small probe immediately followed by a large
+//    one; the receiver's small→large inter-arrival gives a delay sample
+//    (PP) and a bandwidth estimate (ETT), and the small probes double as
+//    the loss-rate stream for ETT's ETX factor.
+//
+// Sizes follow the packet-pair literature (137 B small, 1137 B large);
+// they are what produce the Table 1 overhead ratios.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/buffer.hpp"
+#include "mesh/net/packet.hpp"
+
+namespace mesh::metrics {
+
+enum class ProbeType : std::uint8_t { Single = 0, PairSmall = 1, PairLarge = 2 };
+
+inline constexpr std::size_t kSmallProbeBytes = 137;
+inline constexpr std::size_t kLargeProbeBytes = 1137;
+
+// One entry of a probe's neighbor report: "I heard `neighbor` with forward
+// delivery ratio df". This is the De Couto mechanism that tells a neighbor
+// its *reverse* link quality — required by unicast-style bidirectional
+// metrics (BiETX), deliberately unused by the paper's multicast metrics
+// (Section 2.1: broadcast success depends on the forward direction only).
+struct ReportEntry {
+  net::NodeId neighbor{net::kInvalidNode};
+  std::uint8_t dfQuantized{0};  // df × 255, rounded
+
+  static std::uint8_t quantize(double df);
+  double df() const { return dfQuantized / 255.0; }
+};
+
+struct ProbeMessage {
+  ProbeType type{ProbeType::Single};
+  net::NodeId sender{net::kInvalidNode};
+  std::uint32_t seq{0};
+  std::vector<ReportEntry> report;  // empty unless neighbor reports are on
+
+  // Serialized size: fields (+ report) padded up to the nominal probe
+  // size; a large report can grow the probe beyond it, costing airtime —
+  // the realistic price of bidirectional measurement.
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<ProbeMessage> parse(std::span<const std::uint8_t> bytes);
+
+  net::PacketPtr toPacket(SimTime now) const {
+    return net::Packet::make(net::PacketKind::Probe, sender, serialize(), now);
+  }
+};
+
+}  // namespace mesh::metrics

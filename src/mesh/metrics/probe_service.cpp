@@ -1,0 +1,113 @@
+#include "mesh/metrics/probe_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::metrics {
+
+ProbeService::ProbeService(sim::Simulator& simulator, net::NodeId self,
+                           ProbeConfig config, double rateScale,
+                           NeighborTable& table, SendFn send, Rng rng,
+                           AdaptiveProbing adaptive,
+                           std::function<SimTime()> busyTime)
+    : simulator_{simulator},
+      self_{self},
+      config_{config},
+      table_{table},
+      send_{std::move(send)},
+      rng_{rng},
+      timer_{simulator},
+      adaptive_{adaptive},
+      busyTime_{std::move(busyTime)} {
+  MESH_REQUIRE(rateScale > 0.0);
+  if (adaptive_.enabled) MESH_REQUIRE(busyTime_ != nullptr);
+  if (config_.mode != ProbeMode::None) {
+    MESH_REQUIRE(config_.interval > SimTime::zero());
+    interval_ = config_.interval.scaled(1.0 / rateScale);
+  }
+}
+
+void ProbeService::adjustSlowdown() {
+  if (!adaptive_.enabled) return;
+  const SimTime now = simulator_.now();
+  const SimTime busyNow = busyTime_();
+  if (lastCycleAt_ > SimTime::zero() && now > lastCycleAt_) {
+    const double busyFraction =
+        (busyNow - lastBusyTotal_).ratio(now - lastCycleAt_);
+    if (busyFraction > adaptive_.busyHi) {
+      slowdown_ = std::min(slowdown_ * adaptive_.step, adaptive_.maxSlowdown);
+    } else if (busyFraction < adaptive_.busyLo) {
+      slowdown_ = std::max(slowdown_ / adaptive_.step, 1.0);
+    }
+  }
+  lastCycleAt_ = now;
+  lastBusyTotal_ = busyNow;
+}
+
+void ProbeService::start() {
+  if (config_.mode == ProbeMode::None) return;
+  const SimTime initial = interval_.scaled(rng_.uniform(0.05, 1.0));
+  timer_.stop();
+  // ±10% jitter per cycle keeps the fleet desynchronized forever.
+  timer_.start(
+      [this, initial, first = true]() mutable -> SimTime {
+        if (first) {
+          first = false;
+          return initial;
+        }
+        return interval_.scaled(slowdown_ * rng_.uniform(0.9, 1.1));
+      },
+      [this] { sendProbes(); });
+}
+
+void ProbeService::stop() { timer_.stop(); }
+
+void ProbeService::sendProbes() {
+  const SimTime now = simulator_.now();
+  adjustSlowdown();
+  if (config_.mode == ProbeMode::Pair) {
+    // Our probing tick doubles as the receiver-side pair timeout: any pair
+    // whose large probe is more than half an interval late is written off.
+    table_.finalizeStalePairs(now, interval_ / 2);
+  }
+  const std::uint32_t seq = seq_++;
+  if (config_.mode == ProbeMode::Single) {
+    ProbeMessage m{ProbeType::Single, self_, seq};
+    if (config_.neighborReports) {
+      for (const auto& [neighbor, df] : table_.snapshotDf(now)) {
+        if (m.report.size() >= 255) break;
+        m.report.push_back(ReportEntry{neighbor, ReportEntry::quantize(df)});
+      }
+    }
+    auto packet = m.toPacket(now);
+    stats_.probesSent += 1;
+    stats_.probeBytesSent += packet->sizeBytes();
+    send_(std::move(packet));
+  } else {
+    // Packet pair: small immediately followed by large; both enter the
+    // MAC queue back-to-back so the receiver-side dispersion measures the
+    // channel (airtime + contention), which is the packet-pair principle.
+    ProbeMessage small{ProbeType::PairSmall, self_, seq};
+    ProbeMessage large{ProbeType::PairLarge, self_, seq};
+    auto smallPacket = small.toPacket(now);
+    auto largePacket = large.toPacket(now);
+    stats_.probesSent += 2;
+    stats_.probeBytesSent += smallPacket->sizeBytes() + largePacket->sizeBytes();
+    send_(std::move(smallPacket));
+    send_(std::move(largePacket));
+  }
+}
+
+void ProbeService::onPacket(const net::PacketPtr& packet, SimTime now) {
+  const auto probe = ProbeMessage::parse(packet->bytes());
+  if (!probe) return;
+  if (probe->sender == self_) return;  // own probe echoed back — impossible
+                                       // on a radio, defensive anyway
+  ++stats_.probesReceived;
+  stats_.probeBytesReceived += packet->sizeBytes();
+  table_.onProbe(*probe, now, self_);
+}
+
+}  // namespace mesh::metrics

@@ -1,0 +1,95 @@
+#pragma once
+// ProbeService: periodic link probing on one node.
+//
+// Broadcasts probes on the schedule the metric asks for (single probes or
+// packet pairs), with ±10% jitter to avoid fleet-wide synchronization, and
+// feeds received probes into the NeighborTable. The service sends real
+// packets through the real MAC: probe traffic contends with data traffic,
+// which is precisely the overhead-vs-freshness tradeoff of Section 4.2.2
+// (and the reason ODMRP_ETT loses to ODMRP_ETX despite similar loss
+// estimation).
+//
+// `rateScale` divides the probe interval: 5.0 probes five times as often
+// ("Throughput-high overhead" column), 0.1 ten times less often.
+
+#include <cstdint>
+#include <functional>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/metrics/neighbor_table.hpp"
+#include "mesh/metrics/probe_messages.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/sim/simulator.hpp"
+#include "mesh/sim/timer.hpp"
+
+namespace mesh::metrics {
+
+struct ProbeServiceStats {
+  std::uint64_t probesSent{0};
+  std::uint64_t probeBytesSent{0};
+  std::uint64_t probesReceived{0};
+  std::uint64_t probeBytesReceived{0};
+};
+
+// Adaptive probing (the paper's Section 6 future work: "investigate more
+// about the optimal probing rate"). The controller watches the fraction of
+// time the medium reads busy between probe cycles and stretches the probe
+// interval (up to maxSlowdown x) when the channel is loaded — probes are
+// the first traffic to yield, because their benefit (fresher link state)
+// is worth least exactly when they cost most (interference with data,
+// Section 4.2.2).
+struct AdaptiveProbing {
+  bool enabled{false};
+  double busyHi{0.40};       // above this: slow down
+  double busyLo{0.20};       // below this: speed back up
+  double step{1.25};         // multiplicative interval adjustment
+  double maxSlowdown{4.0};
+};
+
+class ProbeService {
+ public:
+  using SendFn = std::function<void(net::PacketPtr)>;  // broadcast via MAC
+
+  // `busyTime` (optional) returns the radio's cumulative medium-busy time;
+  // required only when `adaptive.enabled`.
+  ProbeService(sim::Simulator& simulator, net::NodeId self, ProbeConfig config,
+               double rateScale, NeighborTable& table, SendFn send, Rng rng,
+               AdaptiveProbing adaptive = {},
+               std::function<SimTime()> busyTime = nullptr);
+
+  // Begin the periodic schedule (no-op for ProbeMode::None). The first
+  // probe goes out after a random fraction of the interval so nodes
+  // desynchronize from simulation start.
+  void start();
+  void stop();
+
+  // Feed a received packet of kind Probe.
+  void onPacket(const net::PacketPtr& packet, SimTime now);
+
+  const ProbeServiceStats& stats() const { return stats_; }
+  SimTime effectiveInterval() const { return interval_.scaled(slowdown_); }
+  double currentSlowdown() const { return slowdown_; }
+
+ private:
+  void sendProbes();
+  void adjustSlowdown();
+
+  sim::Simulator& simulator_;
+  net::NodeId self_;
+  ProbeConfig config_;
+  SimTime interval_{SimTime::zero()};
+  NeighborTable& table_;
+  SendFn send_;
+  Rng rng_;
+  sim::PeriodicTimer timer_;
+  std::uint32_t seq_{0};
+  ProbeServiceStats stats_;
+
+  AdaptiveProbing adaptive_;
+  std::function<SimTime()> busyTime_;
+  double slowdown_{1.0};
+  SimTime lastCycleAt_{SimTime::zero()};
+  SimTime lastBusyTotal_{SimTime::zero()};
+};
+
+}  // namespace mesh::metrics

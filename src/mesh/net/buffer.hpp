@@ -1,0 +1,97 @@
+#pragma once
+// Byte-order-explicit serialization primitives.
+//
+// Protocol headers (MAC frames, probes, ODMRP messages) are serialized to
+// real bytes rather than carried as C++ structs: packet sizes must be
+// accurate because airtime — and therefore contention, probing overhead
+// (Table 1) and the ETT-vs-ETX result — depends on them. All fields are
+// little-endian.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::net {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_{&out} {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) { appendLe(v); }
+  void u32(std::uint32_t v) { appendLe(v); }
+  void u64(std::uint64_t v) { appendLe(v); }
+  void i64(std::int64_t v) { appendLe(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    appendLe(bits);
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+  // Reserve `n` zero bytes (padding / payload placeholder).
+  void zeros(std::size_t n) { out_->insert(out_->end(), n, 0); }
+
+  std::size_t size() const { return out_->size(); }
+
+ private:
+  template <typename T>
+  void appendLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  std::uint8_t u8() { return takeLe<std::uint8_t>(); }
+  std::uint16_t u16() { return takeLe<std::uint16_t>(); }
+  std::uint32_t u32() { return takeLe<std::uint32_t>(); }
+  std::uint64_t u64() { return takeLe<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(takeLe<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = takeLe<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    MESH_REQUIRE(remaining() >= n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    MESH_REQUIRE(remaining() >= n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool atEnd() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T takeLe() {
+    MESH_REQUIRE(remaining() >= sizeof(T));
+    T v{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace mesh::net

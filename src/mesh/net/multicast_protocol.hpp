@@ -1,0 +1,72 @@
+#pragma once
+// MulticastProtocol: the interface every multicast routing protocol in
+// this library implements.
+//
+// The paper (Section 3): "the various link-quality metrics can easily be
+// incorporated into any other routing protocol". This interface is where
+// that claim is made concrete: the harness, traffic generators, and
+// statistics are written against it, and both ODMRP (mesh-based) and
+// TreeMulticast (MAODV-inspired, tree-based — the Section 4.3 discussion)
+// plug in beneath it.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mesh/net/addr.hpp"
+#include "mesh/net/packet.hpp"
+
+namespace mesh::net {
+
+// Counters shared by all protocol implementations.
+struct ProtocolStats {
+  std::uint64_t queriesOriginated{0};
+  std::uint64_t queriesForwarded{0};
+  std::uint64_t duplicateQueriesForwarded{0};
+  std::uint64_t queriesDropped{0};
+  std::uint64_t repliesOriginated{0};
+  std::uint64_t repliesForwarded{0};
+  std::uint64_t routeEstablished{0};
+  std::uint64_t dataOriginated{0};
+  std::uint64_t dataForwarded{0};
+  std::uint64_t dataDelivered{0};
+  std::uint64_t dataDuplicates{0};
+  std::uint64_t controlBytesSent{0};
+  std::uint64_t dataBytesSent{0};
+};
+
+class MulticastProtocol {
+ public:
+  using SendFn = std::function<void(PacketPtr)>;  // link-layer broadcast
+  using DeliverFn = std::function<void(GroupId, NodeId, std::uint32_t,
+                                       const PacketPtr&,
+                                       std::span<const std::uint8_t>)>;
+
+  virtual ~MulticastProtocol() = default;
+
+  virtual NodeId nodeId() const = 0;
+
+  // Membership and source roles.
+  virtual void joinGroup(GroupId group) = 0;
+  virtual void leaveGroup(GroupId group) = 0;
+  virtual bool isMember(GroupId group) const = 0;
+  virtual void startSource(GroupId group) = 0;
+  virtual void stopSource(GroupId group) = 0;
+
+  // Data path.
+  virtual void sendData(GroupId group, std::vector<std::uint8_t> payload) = 0;
+  virtual void setDeliverCallback(DeliverFn cb) = 0;
+
+  // Called for every received packet of kinds Control and Data.
+  virtual void onPacket(const PacketPtr& packet, NodeId from) = 0;
+
+  // Introspection.
+  virtual bool isForwarder(GroupId group) const = 0;
+  virtual const ProtocolStats& stats() const = 0;
+  virtual const std::unordered_map<LinkKey, std::uint64_t, LinkKeyHash>&
+  dataEdgeCounts() const = 0;
+};
+
+}  // namespace mesh::net

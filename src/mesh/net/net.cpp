@@ -1,0 +1,15 @@
+#include "mesh/net/packet.hpp"
+
+namespace mesh::net {
+
+const char* toString(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::Data: return "data";
+    case PacketKind::Probe: return "probe";
+    case PacketKind::Control: return "control";
+    case PacketKind::MacControl: return "mac-control";
+  }
+  return "unknown";
+}
+
+}  // namespace mesh::net

@@ -1,0 +1,77 @@
+#pragma once
+// Packet: the unit of data exchanged between layers.
+//
+// A Packet carries serialized bytes plus simulation metadata (a unique id,
+// creation time, a coarse kind tag used for byte accounting). Packets are
+// immutable once handed to the channel and shared by pointer so that a
+// broadcast frame fanning out to twenty receivers copies nothing.
+//
+// Byte accounting matters: Table 1 reports probe bytes as a percentage of
+// data bytes received, so every header contributes its true size.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::net {
+
+// Coarse classification for statistics (what Table 1 and the throughput
+// columns count). The wire format carries its own finer-grained types.
+enum class PacketKind : std::uint8_t {
+  Data = 0,       // application payload (CBR)
+  Probe = 1,      // metric probe (single or packet-pair)
+  Control = 2,    // ODMRP JOIN QUERY / JOIN REPLY
+  MacControl = 3  // RTS / CTS / ACK
+};
+
+const char* toString(PacketKind kind);
+
+class Packet;
+using PacketPtr = std::shared_ptr<const Packet>;
+
+class Packet {
+ public:
+  // Creates a packet owning `bytes`. `origin` is the node that *created*
+  // the packet (not the current transmitter — that is MAC-level state).
+  static PacketPtr make(PacketKind kind, NodeId origin,
+                        std::vector<std::uint8_t> bytes, SimTime created) {
+    return std::make_shared<const Packet>(PrivateTag{}, kind, origin,
+                                          std::move(bytes), created);
+  }
+
+  struct PrivateTag {};  // make_shared needs a public ctor; keep it unusable
+  Packet(PrivateTag, PacketKind kind, NodeId origin,
+         std::vector<std::uint8_t> bytes, SimTime created)
+      : uid_{nextUid()},
+        kind_{kind},
+        origin_{origin},
+        created_{created},
+        bytes_{std::move(bytes)} {}
+
+  std::uint64_t uid() const { return uid_; }
+  PacketKind kind() const { return kind_; }
+  NodeId origin() const { return origin_; }
+  SimTime createdAt() const { return created_; }
+  std::size_t sizeBytes() const { return bytes_.size(); }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+ private:
+  static std::uint64_t nextUid() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+  }
+
+  std::uint64_t uid_;
+  PacketKind kind_;
+  NodeId origin_;
+  SimTime created_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace mesh::net

@@ -1,0 +1,76 @@
+#pragma once
+// Duplicate detection for flooded/forwarded packets.
+//
+// ODMRP floods JOIN QUERYs and forwards data through a redundant mesh, so
+// every node sees duplicates. Sequence numbers per (group, source) are
+// strictly increasing, so a 64-bit sliding window over the highest seq
+// seen is exact for any realistic reordering (duplicates arrive within
+// milliseconds of each other; rounds are seconds apart).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mesh/net/addr.hpp"
+
+namespace mesh::odmrp {
+
+// Window over one (group, source) stream.
+class SeqWindow {
+ public:
+  // Returns true if `seq` is new (and records it); false for a duplicate
+  // or anything older than the window.
+  bool checkAndInsert(std::uint32_t seq) {
+    if (!any_) {
+      any_ = true;
+      hi_ = seq;
+      bits_ = 1;
+      return true;
+    }
+    if (seq > hi_) {
+      const std::uint32_t shift = seq - hi_;
+      bits_ = shift >= 64 ? 0 : bits_ << shift;
+      bits_ |= 1;
+      hi_ = seq;
+      return true;
+    }
+    const std::uint32_t age = hi_ - seq;
+    if (age >= 64) return false;  // too old to tell: treat as duplicate
+    const std::uint64_t mask = std::uint64_t{1} << age;
+    if (bits_ & mask) return false;
+    bits_ |= mask;
+    return true;
+  }
+
+  bool seen(std::uint32_t seq) const {
+    if (!any_) return false;
+    if (seq > hi_) return false;
+    const std::uint32_t age = hi_ - seq;
+    if (age >= 64) return true;
+    return (bits_ >> age) & 1;
+  }
+
+ private:
+  bool any_{false};
+  std::uint32_t hi_{0};
+  std::uint64_t bits_{0};
+};
+
+// Keyed collection of windows, one per (group, source).
+class DupCache {
+ public:
+  bool checkAndInsert(net::GroupId group, net::NodeId source, std::uint32_t seq) {
+    return windows_[key(group, source)].checkAndInsert(seq);
+  }
+  bool seen(net::GroupId group, net::NodeId source, std::uint32_t seq) const {
+    const auto it = windows_.find(key(group, source));
+    return it != windows_.end() && it->second.seen(seq);
+  }
+
+ private:
+  static std::uint32_t key(net::GroupId group, net::NodeId source) {
+    return (static_cast<std::uint32_t>(group) << 16) | source;
+  }
+  std::unordered_map<std::uint32_t, SeqWindow> windows_;
+};
+
+}  // namespace mesh::odmrp

@@ -1,0 +1,125 @@
+#include "mesh/odmrp/messages.hpp"
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::odmrp {
+
+std::optional<MessageType> peekType(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  const std::uint8_t raw = bytes[0];
+  if (raw < 1 || raw > 3) return std::nullopt;
+  return static_cast<MessageType>(raw);
+}
+
+std::vector<std::uint8_t> JoinQuery::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kJoinQueryBytes);
+  net::ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MessageType::JoinQuery));
+  w.u16(group);
+  w.u16(source);
+  w.u32(seq);
+  w.u8(hopCount);
+  w.u8(metricKind);
+  w.u16(prevHop);
+  w.f64(pathCost);
+  MESH_ASSERT(out.size() <= kJoinQueryBytes);
+  w.zeros(kJoinQueryBytes - out.size());
+  return out;
+}
+
+std::optional<JoinQuery> JoinQuery::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 21 || bytes[0] != static_cast<std::uint8_t>(MessageType::JoinQuery)) {
+    return std::nullopt;
+  }
+  net::ByteReader r{bytes};
+  r.u8();
+  JoinQuery q;
+  q.group = r.u16();
+  q.source = r.u16();
+  q.seq = r.u32();
+  q.hopCount = r.u8();
+  q.metricKind = r.u8();
+  q.prevHop = r.u16();
+  q.pathCost = r.f64();
+  return q;
+}
+
+std::vector<std::uint8_t> JoinReply::serialize() const {
+  MESH_REQUIRE(entries.size() <= 255);
+  std::vector<std::uint8_t> out;
+  out.reserve(kJoinReplyBaseBytes + entries.size() * kJoinReplyEntryBytes);
+  net::ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MessageType::JoinReply));
+  w.u16(group);
+  w.u16(sender);
+  w.u32(seq);
+  w.u8(static_cast<std::uint8_t>(entries.size()));
+  for (const JoinReplyEntry& e : entries) {
+    w.u16(e.source);
+    w.u16(e.nextHop);
+  }
+  const std::size_t minSize =
+      kJoinReplyBaseBytes + entries.size() * kJoinReplyEntryBytes;
+  MESH_ASSERT(out.size() <= minSize);
+  w.zeros(minSize - out.size());
+  return out;
+}
+
+std::optional<JoinReply> JoinReply::parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 10 || bytes[0] != static_cast<std::uint8_t>(MessageType::JoinReply)) {
+    return std::nullopt;
+  }
+  net::ByteReader r{bytes};
+  r.u8();
+  JoinReply reply;
+  reply.group = r.u16();
+  reply.sender = r.u16();
+  reply.seq = r.u32();
+  const std::uint8_t count = r.u8();
+  if (r.remaining() < count * kJoinReplyEntryBytes) return std::nullopt;
+  reply.entries.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    JoinReplyEntry e;
+    e.source = r.u16();
+    e.nextHop = r.u16();
+    reply.entries.push_back(e);
+  }
+  return reply;
+}
+
+std::vector<std::uint8_t> DataHeader::serializeWith(
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kDataHeaderBytes + payload.size());
+  net::ByteWriter w{out};
+  w.u8(static_cast<std::uint8_t>(MessageType::Data));
+  w.u16(group);
+  w.u16(source);
+  w.u32(seq);
+  MESH_ASSERT(out.size() <= kDataHeaderBytes);
+  w.zeros(kDataHeaderBytes - out.size());
+  w.bytes(payload);
+  return out;
+}
+
+std::optional<DataHeader> DataHeader::parse(
+    std::span<const std::uint8_t> bytes,
+    std::span<const std::uint8_t>* payloadBytes) {
+  if (bytes.size() < kDataHeaderBytes ||
+      bytes[0] != static_cast<std::uint8_t>(MessageType::Data)) {
+    return std::nullopt;
+  }
+  net::ByteReader r{bytes};
+  r.u8();
+  DataHeader h;
+  h.group = r.u16();
+  h.source = r.u16();
+  h.seq = r.u32();
+  if (payloadBytes != nullptr) {
+    *payloadBytes = bytes.subspan(kDataHeaderBytes);
+  }
+  return h;
+}
+
+}  // namespace mesh::odmrp

@@ -1,0 +1,83 @@
+#pragma once
+// ODMRP wire formats: JOIN QUERY, JOIN REPLY, and the data header.
+//
+// The JOIN QUERY carries the accumulated path cost (Section 3.1: each node
+// "updates the cost in the JOIN QUERY packet before rebroadcasting it"),
+// plus the metric kind so a receiver can sanity-check that the network is
+// running one consistent metric. The JOIN REPLY carries the member's JOIN
+// TABLE: (source, nextHop) entries naming which neighbor should become a
+// forwarding-group node for which source.
+//
+// Sizes approximate the real odmrpd daemon's UDP datagrams (header fields
+// plus IP/UDP framing), so control traffic airtime is realistic.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/buffer.hpp"
+#include "mesh/net/packet.hpp"
+
+namespace mesh::odmrp {
+
+inline constexpr std::size_t kJoinQueryBytes = 48;
+inline constexpr std::size_t kJoinReplyBaseBytes = 32;
+inline constexpr std::size_t kJoinReplyEntryBytes = 4;
+inline constexpr std::size_t kDataHeaderBytes = 16;
+
+enum class MessageType : std::uint8_t { JoinQuery = 1, JoinReply = 2, Data = 3 };
+
+// Peeks the message type of a serialized ODMRP packet.
+std::optional<MessageType> peekType(std::span<const std::uint8_t> bytes);
+
+struct JoinQuery {
+  net::GroupId group{0};
+  net::NodeId source{net::kInvalidNode};
+  std::uint32_t seq{0};
+  std::uint8_t hopCount{0};
+  std::uint8_t metricKind{0};
+  net::NodeId prevHop{net::kInvalidNode};  // the last transmitter
+  double pathCost{0.0};
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<JoinQuery> parse(std::span<const std::uint8_t> bytes);
+  net::PacketPtr toPacket(SimTime now) const {
+    return net::Packet::make(net::PacketKind::Control, source, serialize(), now);
+  }
+};
+
+struct JoinReplyEntry {
+  net::NodeId source{net::kInvalidNode};
+  net::NodeId nextHop{net::kInvalidNode};
+};
+
+struct JoinReply {
+  net::GroupId group{0};
+  net::NodeId sender{net::kInvalidNode};
+  std::uint32_t seq{0};  // the query round this reply answers
+  std::vector<JoinReplyEntry> entries;
+
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<JoinReply> parse(std::span<const std::uint8_t> bytes);
+  net::PacketPtr toPacket(SimTime now) const {
+    return net::Packet::make(net::PacketKind::Control, sender, serialize(), now);
+  }
+};
+
+// Data packets: a small header in front of the application payload. The
+// packet is immutable across hops (forwarders rebroadcast the same bytes).
+struct DataHeader {
+  net::GroupId group{0};
+  net::NodeId source{net::kInvalidNode};
+  std::uint32_t seq{0};
+
+  // Serializes header followed by `payload`.
+  std::vector<std::uint8_t> serializeWith(std::span<const std::uint8_t> payload) const;
+  // Parses the header and returns it; `payloadBytes` receives the rest.
+  static std::optional<DataHeader> parse(std::span<const std::uint8_t> bytes,
+                                         std::span<const std::uint8_t>* payloadBytes);
+};
+
+}  // namespace mesh::odmrp

@@ -1,0 +1,306 @@
+#include "mesh/odmrp/odmrp.hpp"
+
+#include <utility>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/common/log.hpp"
+
+namespace mesh::odmrp {
+
+Odmrp::Odmrp(sim::Simulator& simulator, net::NodeId self, OdmrpParams params,
+             const metrics::Metric* metric,
+             const metrics::NeighborTable* neighbors, SendFn send, Rng rng)
+    : simulator_{simulator},
+      self_{self},
+      params_{params},
+      metric_{metric},
+      neighbors_{neighbors},
+      send_{std::move(send)},
+      rng_{rng} {
+  MESH_REQUIRE(send_ != nullptr);
+  if (metric_ != nullptr) MESH_REQUIRE(neighbors_ != nullptr);
+  MESH_REQUIRE(params_.dupForwardAlpha <= params_.memberWindowDelta);
+}
+
+// ------------------------------------------------------------------ roles
+
+void Odmrp::joinGroup(net::GroupId group) { members_.insert(group); }
+
+void Odmrp::leaveGroup(net::GroupId group) { members_.erase(group); }
+
+void Odmrp::startSource(net::GroupId group) {
+  if (queryTimers_.contains(group)) return;
+  auto timer = std::make_unique<sim::PeriodicTimer>(simulator_);
+  // First query after a random fraction of the interval (desynchronizes
+  // multiple sources), then the refresh cycle with small jitter.
+  timer->start(
+      [this, first = true]() mutable -> SimTime {
+        if (first) {
+          first = false;
+          return params_.queryInterval.scaled(rng_.uniform(0.01, 0.2));
+        }
+        return params_.queryInterval.scaled(rng_.uniform(0.95, 1.05));
+      },
+      [this, group] { originateQuery(group); });
+  queryTimers_.emplace(group, std::move(timer));
+}
+
+void Odmrp::stopSource(net::GroupId group) { queryTimers_.erase(group); }
+
+// ------------------------------------------------------------------ query
+
+void Odmrp::originateQuery(net::GroupId group) {
+  const std::uint32_t seq = querySeq_[group]++;
+  JoinQuery q;
+  q.group = group;
+  q.source = self_;
+  q.seq = seq;
+  q.hopCount = 0;
+  q.metricKind = metric_ ? static_cast<std::uint8_t>(metric_->kind()) : 0;
+  q.prevHop = self_;
+  q.pathCost = metric_ ? metric_->initialPathCost() : 0.0;
+
+  // Swallow echoes of our own query.
+  RoundState& rs = rounds_[key(group, self_)];
+  rs = RoundState{};
+  rs.valid = true;
+  rs.seq = seq;
+  rs.fgReplySent = true;
+  rs.memberReplySent = true;
+
+  ++stats_.queriesOriginated;
+  auto packet = q.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  send_(std::move(packet));
+}
+
+double Odmrp::chargeIncomingLink(const JoinQuery& query, net::NodeId from) const {
+  MESH_ASSERT(metric_ != nullptr);
+  const metrics::LinkMeasurement m = neighbors_->measure(from, simulator_.now());
+  return metric_->accumulate(query.pathCost, metric_->linkCost(m));
+}
+
+void Odmrp::handleQuery(const JoinQuery& query, net::NodeId from) {
+  if (query.source == self_) return;  // our own flood echoed back
+  if (query.hopCount >= params_.maxHops) {
+    ++stats_.queriesDropped;
+    return;
+  }
+
+  const double cost = metric_ ? chargeIncomingLink(query, from) : 0.0;
+  RoundState& rs = rounds_[key(query.group, query.source)];
+
+  if (rs.valid && query.seq < rs.seq) {
+    ++stats_.queriesDropped;  // stale round
+    return;
+  }
+  const bool newRound = !rs.valid || query.seq > rs.seq;
+
+  if (newRound) {
+    rs = RoundState{};
+    rs.valid = true;
+    rs.seq = query.seq;
+    rs.bestCost = cost;
+    rs.upstream = from;
+    rs.hopCount = static_cast<std::uint8_t>(query.hopCount + 1);
+    rs.alphaDeadline = simulator_.now() + params_.dupForwardAlpha;
+    forwardQuery(query, cost, /*duplicate=*/false);
+
+    if (members_.contains(query.group)) {
+      if (metric_ != nullptr) {
+        // δ window: buffer duplicates, answer the best at expiry.
+        rs.memberReplyArmed = true;
+        const net::GroupId group = query.group;
+        const net::NodeId source = query.source;
+        const std::uint32_t seq = query.seq;
+        simulator_.schedule(params_.memberWindowDelta, [this, group, source, seq] {
+          auto it = rounds_.find(key(group, source));
+          if (it == rounds_.end() || !it->second.valid || it->second.seq != seq) return;
+          if (it->second.memberReplySent) return;
+          sendMemberReply(group, source);
+        });
+      } else {
+        // Original ODMRP: reply to the first query immediately.
+        sendMemberReply(query.group, query.source);
+      }
+    }
+    return;
+  }
+
+  // Duplicate of the current round.
+  if (metric_ != nullptr && metric_->better(cost, rs.bestCost)) {
+    rs.bestCost = cost;
+    rs.upstream = from;
+    rs.hopCount = static_cast<std::uint8_t>(query.hopCount + 1);
+    if (simulator_.now() <= rs.alphaDeadline) {
+      forwardQuery(query, cost, /*duplicate=*/true);
+    } else {
+      ++stats_.queriesDropped;  // improving, but the α window has closed
+    }
+  } else {
+    ++stats_.queriesDropped;
+  }
+}
+
+void Odmrp::forwardQuery(const JoinQuery& received, double newCost, bool duplicate) {
+  JoinQuery out = received;
+  out.hopCount = static_cast<std::uint8_t>(received.hopCount + 1);
+  out.prevHop = self_;
+  if (metric_ != nullptr) out.pathCost = newCost;
+
+  if (duplicate) {
+    ++stats_.duplicateQueriesForwarded;
+  } else {
+    ++stats_.queriesForwarded;
+  }
+  auto packet = out.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  sendControl(std::move(packet), params_.queryJitterMax);
+}
+
+// ------------------------------------------------------------------ reply
+
+void Odmrp::sendMemberReply(net::GroupId group, net::NodeId source) {
+  RoundState& rs = rounds_[key(group, source)];
+  MESH_ASSERT(rs.valid);
+  if (rs.upstream == net::kInvalidNode) return;
+  rs.memberReplySent = true;
+
+  JoinReply reply;
+  reply.group = group;
+  reply.sender = self_;
+  reply.seq = rs.seq;
+  reply.entries.push_back(JoinReplyEntry{source, rs.upstream});
+
+  ++stats_.repliesOriginated;
+  auto packet = reply.toPacket(simulator_.now());
+  stats_.controlBytesSent += packet->sizeBytes();
+  sendControl(std::move(packet), params_.replyJitterMax);
+}
+
+void Odmrp::handleReply(const JoinReply& reply, net::NodeId from) {
+  (void)from;
+  JoinReply out;
+  out.group = reply.group;
+  out.sender = self_;
+  out.seq = reply.seq;
+
+  for (const JoinReplyEntry& entry : reply.entries) {
+    if (entry.nextHop != self_) continue;
+    if (entry.source == self_) {
+      // The reply chain reached the source: the route is up.
+      ++stats_.routeEstablished;
+      continue;
+    }
+    auto it = rounds_.find(key(reply.group, entry.source));
+    if (it == rounds_.end() || !it->second.valid || it->second.seq != reply.seq) {
+      continue;  // stale round — ignore
+    }
+    RoundState& rs = it->second;
+    setForwardingFlag(reply.group);
+    if (!rs.fgReplySent && rs.upstream != net::kInvalidNode) {
+      rs.fgReplySent = true;
+      out.entries.push_back(JoinReplyEntry{entry.source, rs.upstream});
+    }
+  }
+
+  if (!out.entries.empty()) {
+    ++stats_.repliesForwarded;
+    auto packet = out.toPacket(simulator_.now());
+    stats_.controlBytesSent += packet->sizeBytes();
+    sendControl(std::move(packet), params_.replyJitterMax);
+  }
+}
+
+void Odmrp::setForwardingFlag(net::GroupId group) {
+  fgExpiry_[group] = simulator_.now() + params_.fgTimeout;
+}
+
+bool Odmrp::isForwarder(net::GroupId group) const {
+  const auto it = fgExpiry_.find(group);
+  return it != fgExpiry_.end() && it->second > simulator_.now();
+}
+
+// ------------------------------------------------------------------- data
+
+void Odmrp::sendData(net::GroupId group, std::vector<std::uint8_t> payload) {
+  DataHeader header;
+  header.group = group;
+  header.source = self_;
+  header.seq = dataSeq_[group]++;
+
+  // Mark our own packet as seen so a forwarded copy is not re-processed.
+  dataDupCache_.checkAndInsert(group, self_, header.seq);
+
+  auto packet = net::Packet::make(net::PacketKind::Data, self_,
+                                  header.serializeWith(payload),
+                                  simulator_.now());
+  ++stats_.dataOriginated;
+  stats_.dataBytesSent += packet->sizeBytes();
+  send_(packet);
+}
+
+void Odmrp::handleData(const net::PacketPtr& packet, net::NodeId from) {
+  std::span<const std::uint8_t> payload;
+  const auto header = DataHeader::parse(packet->bytes(), &payload);
+  if (!header) return;
+  if (header->source == self_) return;  // echo of our own data
+
+  if (!dataDupCache_.checkAndInsert(header->group, header->source, header->seq)) {
+    ++stats_.dataDuplicates;
+    return;
+  }
+  ++dataEdges_[net::LinkKey{from, self_}];
+
+  if (members_.contains(header->group)) {
+    ++stats_.dataDelivered;
+    if (deliver_) {
+      deliver_(header->group, header->source, header->seq, packet, payload);
+    }
+  }
+
+  if (isForwarder(header->group)) {
+    ++stats_.dataForwarded;
+    stats_.dataBytesSent += packet->sizeBytes();
+    if (params_.dataJitterMax.isZero()) {
+      send_(packet);
+    } else {
+      const SimTime jitter =
+          params_.dataJitterMax.scaled(rng_.uniform(0.0, 1.0));
+      simulator_.schedule(jitter, [this, packet] { send_(packet); });
+    }
+  }
+}
+
+// --------------------------------------------------------------- dispatch
+
+void Odmrp::onPacket(const net::PacketPtr& packet, net::NodeId from) {
+  const auto type = peekType(packet->bytes());
+  if (!type) return;
+  switch (*type) {
+    case MessageType::JoinQuery: {
+      const auto query = JoinQuery::parse(packet->bytes());
+      if (query) handleQuery(*query, from);
+      break;
+    }
+    case MessageType::JoinReply: {
+      const auto reply = JoinReply::parse(packet->bytes());
+      if (reply) handleReply(*reply, from);
+      break;
+    }
+    case MessageType::Data:
+      handleData(packet, from);
+      break;
+  }
+}
+
+void Odmrp::sendControl(net::PacketPtr packet, SimTime jitterMax) {
+  if (jitterMax.isZero()) {
+    send_(std::move(packet));
+    return;
+  }
+  const SimTime jitter = jitterMax.scaled(rng_.uniform(0.0, 1.0));
+  simulator_.schedule(jitter, [this, packet = std::move(packet)] { send_(packet); });
+}
+
+}  // namespace mesh::odmrp

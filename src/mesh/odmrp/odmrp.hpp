@@ -1,0 +1,160 @@
+#pragma once
+// Odmrp: the On-Demand Multicast Routing Protocol daemon, in both the
+// original flavor and the metric-enhanced flavor of Section 3.1.
+//
+// Protocol recap (Lee, Gerla, Chiang):
+//  * A source periodically floods a JOIN QUERY for its group. Every node
+//    remembers the upstream neighbor the query came through.
+//  * A group member answers with a JOIN REPLY naming, per source, the
+//    upstream neighbor (its JOIN TABLE). A node that hears a reply naming
+//    itself becomes a *forwarding group* (FG) node for the group, and
+//    re-broadcasts its own reply naming its own upstream — until the
+//    replies reach the source.
+//  * Data is broadcast; FG nodes (and only they) rebroadcast it. FG
+//    membership expires unless refreshed by later rounds.
+//
+// Metric enhancement (this paper):
+//  * Queries accumulate a path cost. Each node charges the incoming link
+//    using its NEIGHBOR_TABLE (forward direction, as measured by probes).
+//  * A member buffers duplicate queries for δ and answers the best one.
+//  * An intermediate node re-forwards a *duplicate* query only if it
+//    improves on the best cost seen so far this round, and only within α
+//    (α < δ) of the round's first query — bounded path diversity.
+//
+// Original ODMRP is the metric == nullptr configuration: first query wins,
+// members reply immediately, duplicates are never forwarded.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/common/simtime.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/metrics/neighbor_table.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/multicast_protocol.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/odmrp/dup_cache.hpp"
+#include "mesh/odmrp/messages.hpp"
+#include "mesh/sim/simulator.hpp"
+#include "mesh/sim/timer.hpp"
+
+namespace mesh::odmrp {
+
+struct OdmrpParams {
+  SimTime queryInterval{SimTime::seconds(std::int64_t{3})};
+  // FG_TIMEOUT: forwarding-group flags persist 3 refresh rounds.
+  SimTime fgTimeout{SimTime::seconds(std::int64_t{9})};
+  // Member best-query window (δ) and duplicate-forwarding window (α < δ),
+  // Section 4.1: δ = 30 ms, α = 20 ms.
+  SimTime memberWindowDelta{SimTime::milliseconds(30)};
+  SimTime dupForwardAlpha{SimTime::milliseconds(20)};
+  // Rebroadcast jitters decorrelate neighbors beyond MAC backoff.
+  SimTime queryJitterMax{SimTime::milliseconds(10)};
+  SimTime replyJitterMax{SimTime::milliseconds(4)};
+  SimTime dataJitterMax{SimTime::milliseconds(1)};
+  std::uint8_t maxHops{32};
+};
+
+// The protocol-wide counter block (shared across implementations).
+using OdmrpStats = net::ProtocolStats;
+
+class Odmrp final : public net::MulticastProtocol {
+ public:
+  using SendFn = net::MulticastProtocol::SendFn;
+  using DeliverFn = net::MulticastProtocol::DeliverFn;
+
+  // `metric` null -> original ODMRP. When `metric` is set, `neighbors`
+  // must be the node's probe-fed NEIGHBOR_TABLE.
+  Odmrp(sim::Simulator& simulator, net::NodeId self, OdmrpParams params,
+        const metrics::Metric* metric, const metrics::NeighborTable* neighbors,
+        SendFn send, Rng rng);
+
+  Odmrp(const Odmrp&) = delete;
+  Odmrp& operator=(const Odmrp&) = delete;
+
+  net::NodeId nodeId() const override { return self_; }
+
+  // --- roles ---------------------------------------------------------------
+  void joinGroup(net::GroupId group) override;
+  void leaveGroup(net::GroupId group) override;
+  bool isMember(net::GroupId group) const override {
+    return members_.contains(group);
+  }
+
+  // Start the periodic JOIN QUERY flood for a group this node sources.
+  void startSource(net::GroupId group) override;
+  void stopSource(net::GroupId group) override;
+
+  // --- data path -------------------------------------------------------
+  void sendData(net::GroupId group, std::vector<std::uint8_t> payload) override;
+  void setDeliverCallback(DeliverFn cb) override { deliver_ = std::move(cb); }
+
+  // Feed every received ODMRP packet (kinds Control and Data).
+  void onPacket(const net::PacketPtr& packet, net::NodeId from) override;
+
+  // --- introspection -----------------------------------------------------
+  bool isForwarder(net::GroupId group) const override;
+  const OdmrpStats& stats() const override { return stats_; }
+  // Directed data-edge usage (transmitter -> this node) over accepted,
+  // non-duplicate data packets; the Figure 5 tree dump reads this.
+  const std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash>&
+  dataEdgeCounts() const override {
+    return dataEdges_;
+  }
+
+ private:
+  struct RoundState {
+    std::uint32_t seq{0};
+    bool valid{false};
+    double bestCost{0.0};
+    net::NodeId upstream{net::kInvalidNode};
+    std::uint8_t hopCount{0};
+    SimTime alphaDeadline{SimTime::zero()};
+    bool fgReplySent{false};
+    bool memberReplyArmed{false};
+    bool memberReplySent{false};
+  };
+
+  static std::uint32_t key(net::GroupId group, net::NodeId source) {
+    return (static_cast<std::uint32_t>(group) << 16) | source;
+  }
+
+  void handleQuery(const JoinQuery& query, net::NodeId from);
+  void handleReply(const JoinReply& reply, net::NodeId from);
+  void handleData(const net::PacketPtr& packet, net::NodeId from);
+
+  void originateQuery(net::GroupId group);
+  void forwardQuery(const JoinQuery& received, double newCost, bool duplicate);
+  void sendMemberReply(net::GroupId group, net::NodeId source);
+  void setForwardingFlag(net::GroupId group);
+  void sendControl(net::PacketPtr packet, SimTime jitterMax);
+
+  double chargeIncomingLink(const JoinQuery& query, net::NodeId from) const;
+
+  sim::Simulator& simulator_;
+  net::NodeId self_;
+  OdmrpParams params_;
+  const metrics::Metric* metric_;               // nullable
+  const metrics::NeighborTable* neighbors_;     // nullable
+  SendFn send_;
+  DeliverFn deliver_;
+  Rng rng_;
+
+  std::unordered_set<net::GroupId> members_;
+  std::unordered_map<net::GroupId, SimTime> fgExpiry_;
+  std::unordered_map<std::uint32_t, RoundState> rounds_;  // per (group, source)
+  DupCache dataDupCache_;
+  std::unordered_map<net::GroupId, std::uint32_t> dataSeq_;
+  std::unordered_map<net::GroupId, std::uint32_t> querySeq_;
+  std::unordered_map<net::GroupId, std::unique_ptr<sim::PeriodicTimer>> queryTimers_;
+  std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash> dataEdges_;
+
+  OdmrpStats stats_;
+};
+
+}  // namespace mesh::odmrp

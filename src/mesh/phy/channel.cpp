@@ -1,0 +1,82 @@
+#include "mesh/phy/channel.hpp"
+
+#include "mesh/common/log.hpp"
+
+namespace mesh::phy {
+namespace {
+constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+}
+
+Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel,
+                 Rng rng, double fadingHeadroom)
+    : simulator_{simulator},
+      linkModel_{std::move(linkModel)},
+      rng_{rng},
+      fadingHeadroom_{fadingHeadroom} {
+  MESH_REQUIRE(linkModel_ != nullptr);
+  MESH_REQUIRE(fadingHeadroom_ >= 1.0);
+}
+
+void Channel::attach(Radio& radio) {
+  MESH_REQUIRE(!reachabilityBuilt_);
+  radios_.push_back(&radio);
+  radio.attachChannel(this);
+}
+
+void Channel::buildReachability() {
+  reachable_.assign(radios_.size(), {});
+  for (std::size_t tx = 0; tx < radios_.size(); ++tx) {
+    const double csThreshold = radios_[tx]->params().csThresholdW;
+    for (std::size_t rx = 0; rx < radios_.size(); ++rx) {
+      if (rx == tx) continue;
+      const double mean = linkModel_->meanRxPowerW(radios_[tx]->nodeId(),
+                                                   radios_[rx]->nodeId());
+      if (mean * fadingHeadroom_ >= csThreshold) {
+        reachable_[tx].push_back(rx);
+      }
+    }
+  }
+  reachabilityBuilt_ = true;
+  reachabilityBuiltAt_ = simulator_.now();
+}
+
+void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
+                       SimTime airtime) {
+  if (reachabilityBuilt_ && !refreshInterval_.isZero() &&
+      simulator_.now() - reachabilityBuiltAt_ > refreshInterval_) {
+    reachabilityBuilt_ = false;  // stale under mobility: rebuild below
+  }
+  if (!reachabilityBuilt_) buildReachability();
+  ++stats_.transmissions;
+
+  // Locate the sender's index (radios are few; linear scan is fine and
+  // avoids a map — attach order is stable).
+  std::size_t txIndex = radios_.size();
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    if (radios_[i] == &sender) {
+      txIndex = i;
+      break;
+    }
+  }
+  MESH_REQUIRE(txIndex < radios_.size());
+
+  for (const std::size_t rxIndex : reachable_[txIndex]) {
+    Radio& receiver = *radios_[rxIndex];
+    const double powerW = linkModel_->sampleRxPowerW(
+        sender.nodeId(), receiver.nodeId(), rng_);
+    // Signals with no carrier-sense significance are not worth an event.
+    if (powerW < receiver.params().csThresholdW * 1e-3) continue;
+
+    const double distance =
+        linkModel_->distanceM(sender.nodeId(), receiver.nodeId());
+    const SimTime propagation = SimTime::seconds(distance / kSpeedOfLight);
+    ++stats_.deliveriesScheduled;
+    simulator_.schedule(
+        propagation,
+        [&receiver, frame, tx = sender.nodeId(), powerW, airtime] {
+          receiver.beginArrival(frame, tx, powerW, airtime);
+        });
+  }
+}
+
+}  // namespace mesh::phy

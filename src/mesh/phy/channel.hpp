@@ -1,0 +1,79 @@
+#pragma once
+// Channel: the shared wireless medium.
+//
+// One Channel connects all radios of a scenario. On each transmission it
+// samples per-receiver received power from the LinkModel (mean propagation
+// × per-packet fading) and delivers the energy to every radio whose mean
+// power is non-negligible, after the speed-of-light propagation delay.
+//
+// A static "reachability" cache keeps the fan-out per transmission bounded:
+// a receiver is skipped when even a generous fading up-swing (configurable
+// headroom, default 32×, P(Exp(1) ≥ 32) ≈ 1e-14) could not lift its mean
+// power to the carrier-sense threshold. This is an optimization only — it
+// cannot change which frames are decodable.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/phy/frame.hpp"
+#include "mesh/phy/link_model.hpp"
+#include "mesh/phy/radio.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::phy {
+
+struct ChannelStats {
+  std::uint64_t transmissions{0};
+  std::uint64_t deliveriesScheduled{0};
+};
+
+class Channel {
+ public:
+  // `fadingHeadroom`: see file comment. The link model must outlive the
+  // channel if passed by reference; here we take ownership.
+  Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel,
+          Rng rng, double fadingHeadroom = 32.0);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Register a radio. All radios must be attached before the first
+  // transmission (the reachability cache is built lazily on first use).
+  void attach(Radio& radio);
+
+  // For time-varying link models (mobility): rebuild the reachability
+  // cache whenever it is older than `interval`. The per-link fading
+  // headroom already provides distance slack; keep the interval small
+  // enough that maxSpeed x interval stays well inside it.
+  void enableReachabilityRefresh(SimTime interval) {
+    refreshInterval_ = interval;
+  }
+
+  // Called by Radio::transmit.
+  void transmit(Radio& sender, const PhyFramePtr& frame, SimTime airtime);
+
+  const LinkModel& linkModel() const { return *linkModel_; }
+  const ChannelStats& stats() const { return stats_; }
+  std::size_t radioCount() const { return radios_.size(); }
+
+ private:
+  void buildReachability();
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<LinkModel> linkModel_;
+  Rng rng_;
+  double fadingHeadroom_;
+
+  std::vector<Radio*> radios_;                 // indexed by attach order
+  std::vector<std::vector<std::size_t>> reachable_;  // per-radio receiver sets
+  bool reachabilityBuilt_{false};
+  SimTime refreshInterval_{SimTime::zero()};  // zero: never refresh
+  SimTime reachabilityBuiltAt_{SimTime::zero()};
+  ChannelStats stats_;
+};
+
+}  // namespace mesh::phy

@@ -1,0 +1,67 @@
+#pragma once
+// Small-scale fading models.
+//
+// Fading multiplies the mean received power by a random per-packet gain.
+// The paper uses Rayleigh fading ("appropriate for environments with many
+// large reflectors ... where the sender and the receiver are not in
+// Line-of-Sight"): for a Rayleigh channel the power gain |h|² is Exp(1),
+// so a link whose mean power sits exactly at the reception threshold
+// succeeds with probability e⁻¹ ≈ 37% — this is what makes long links
+// lossy and drives every throughput result in Section 4.
+
+#include <cmath>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/common/rng.hpp"
+
+namespace mesh::phy {
+
+class FadingModel {
+ public:
+  virtual ~FadingModel() = default;
+  // Multiplicative power gain for one packet on one link. Must have unit
+  // mean so that fading does not change average link budget.
+  virtual double powerGain(Rng& rng) const = 0;
+};
+
+class NoFading final : public FadingModel {
+ public:
+  double powerGain(Rng&) const override { return 1.0; }
+};
+
+class RayleighFading final : public FadingModel {
+ public:
+  double powerGain(Rng& rng) const override { return rng.rayleighPowerGain(); }
+
+  // Closed-form packet success probability for a link whose mean power is
+  // `margin` times the threshold: P(gain >= 1/margin) = exp(-1/margin).
+  // Used by tests to validate the sampled behaviour.
+  static double successProbability(double margin) {
+    MESH_REQUIRE(margin > 0.0);
+    return std::exp(-1.0 / margin);
+  }
+};
+
+// Ricean fading with K-factor (ratio of line-of-sight to scattered power);
+// K = 0 degenerates to Rayleigh. Gain is |h|² of h = LOS + CN(0, σ²),
+// normalized to unit mean.
+class RiceanFading final : public FadingModel {
+ public:
+  explicit RiceanFading(double kFactor) : k_{kFactor} { MESH_REQUIRE(kFactor >= 0.0); }
+
+  double powerGain(Rng& rng) const override {
+    // h = sqrt(K/(K+1)) + CN(0, 1/(K+1)); E[|h|²] = 1.
+    const double sigma = std::sqrt(1.0 / (2.0 * (k_ + 1.0)));
+    const double losAmp = std::sqrt(k_ / (k_ + 1.0));
+    const double re = losAmp + rng.normal(0.0, sigma);
+    const double im = rng.normal(0.0, sigma);
+    return re * re + im * im;
+  }
+
+  double kFactor() const { return k_; }
+
+ private:
+  double k_;
+};
+
+}  // namespace mesh::phy

@@ -1,0 +1,32 @@
+#pragma once
+// PhyFrame: what actually travels over the channel.
+//
+// `bytes` is the serialized MAC frame — its length defines airtime, so it
+// must be exact. `payload` is the upper-layer packet riding inside the
+// frame; carrying the pointer alongside the bytes preserves simulation
+// metadata (creation time for delay measurement, kind for byte accounting)
+// without inflating the on-air size. Receivers still *parse* the MAC
+// header from `bytes`; the pointer only spares them re-deserializing the
+// payload they themselves serialized.
+
+#include <memory>
+#include <vector>
+
+#include "mesh/net/packet.hpp"
+
+namespace mesh::phy {
+
+struct PhyFrame {
+  std::vector<std::uint8_t> bytes;
+  net::PacketPtr payload;  // null for MAC control frames (RTS/CTS/ACK)
+
+  std::size_t sizeBytes() const { return bytes.size(); }
+};
+
+using PhyFramePtr = std::shared_ptr<const PhyFrame>;
+
+inline PhyFramePtr makeFrame(std::vector<std::uint8_t> bytes, net::PacketPtr payload) {
+  return std::make_shared<const PhyFrame>(PhyFrame{std::move(bytes), std::move(payload)});
+}
+
+}  // namespace mesh::phy

@@ -1,0 +1,129 @@
+#pragma once
+// LinkModel: how the channel decides per-frame received power on a link.
+//
+// Two implementations exist:
+//  * GeometricLinkModel — positions + propagation model + fading; the
+//    simulation substrate (Glomosim replacement).
+//  * testbed::LossLinkModel (in mesh/testbed) — a measured-loss emulation
+//    of the 8-node Purdue deployment, where link quality is defined by
+//    time-varying loss rates rather than geometry.
+//
+// Keeping this behind one interface lets the whole stack above the channel
+// (radio, MAC, ODMRP, metrics) run unchanged on either substrate, exactly
+// as the paper runs the same protocol code in Glomosim and on the testbed.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/common/vec2.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/phy/fading.hpp"
+#include "mesh/phy/mobility.hpp"
+#include "mesh/phy/propagation.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::phy {
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  // Mean (fading-free) received power on the directed link. Used to build
+  // the channel's neighbor cache: receivers whose mean power is negligible
+  // even with fading headroom are skipped entirely.
+  virtual double meanRxPowerW(net::NodeId from, net::NodeId to) const = 0;
+
+  // Per-frame received power sample (mean × fading draw).
+  virtual double sampleRxPowerW(net::NodeId from, net::NodeId to, Rng& rng) const = 0;
+
+  // Distance used for propagation delay; may be zero for emulated links.
+  virtual double distanceM(net::NodeId from, net::NodeId to) const = 0;
+};
+
+class GeometricLinkModel final : public LinkModel {
+ public:
+  GeometricLinkModel(PhyParams params, std::vector<Vec2> positions,
+                     std::unique_ptr<PropagationModel> propagation,
+                     std::unique_ptr<FadingModel> fading)
+      : params_{params},
+        positions_{std::move(positions)},
+        propagation_{std::move(propagation)},
+        fading_{std::move(fading)} {
+    MESH_REQUIRE(propagation_ != nullptr);
+    MESH_REQUIRE(fading_ != nullptr);
+  }
+
+  double meanRxPowerW(net::NodeId from, net::NodeId to) const override {
+    return propagation_->rxPowerW(params_, position(from), position(to));
+  }
+
+  double sampleRxPowerW(net::NodeId from, net::NodeId to, Rng& rng) const override {
+    return meanRxPowerW(from, to) * fading_->powerGain(rng);
+  }
+
+  double distanceM(net::NodeId from, net::NodeId to) const override {
+    return position(from).distanceTo(position(to));
+  }
+
+  std::size_t nodeCount() const { return positions_.size(); }
+  Vec2 position(net::NodeId id) const {
+    MESH_REQUIRE(id < positions_.size());
+    return positions_[id];
+  }
+  const PhyParams& params() const { return params_; }
+
+ private:
+  PhyParams params_;
+  std::vector<Vec2> positions_;
+  std::unique_ptr<PropagationModel> propagation_;
+  std::unique_ptr<FadingModel> fading_;
+};
+
+// Geometry + mobility: positions are functions of the simulation clock.
+// Used with Channel::enableReachabilityRefresh so the neighbor cache
+// follows the nodes around.
+class MobileGeometricLinkModel final : public LinkModel {
+ public:
+  MobileGeometricLinkModel(const sim::Simulator& simulator, PhyParams params,
+                           std::unique_ptr<MobilityModel> mobility,
+                           std::unique_ptr<PropagationModel> propagation,
+                           std::unique_ptr<FadingModel> fading)
+      : simulator_{simulator},
+        params_{params},
+        mobility_{std::move(mobility)},
+        propagation_{std::move(propagation)},
+        fading_{std::move(fading)} {
+    MESH_REQUIRE(mobility_ != nullptr);
+    MESH_REQUIRE(propagation_ != nullptr);
+    MESH_REQUIRE(fading_ != nullptr);
+  }
+
+  double meanRxPowerW(net::NodeId from, net::NodeId to) const override {
+    const SimTime now = simulator_.now();
+    return propagation_->rxPowerW(params_, mobility_->positionAt(from, now),
+                                  mobility_->positionAt(to, now));
+  }
+
+  double sampleRxPowerW(net::NodeId from, net::NodeId to, Rng& rng) const override {
+    return meanRxPowerW(from, to) * fading_->powerGain(rng);
+  }
+
+  double distanceM(net::NodeId from, net::NodeId to) const override {
+    const SimTime now = simulator_.now();
+    return mobility_->positionAt(from, now)
+        .distanceTo(mobility_->positionAt(to, now));
+  }
+
+  const MobilityModel& mobility() const { return *mobility_; }
+
+ private:
+  const sim::Simulator& simulator_;
+  PhyParams params_;
+  std::unique_ptr<MobilityModel> mobility_;
+  std::unique_ptr<PropagationModel> propagation_;
+  std::unique_ptr<FadingModel> fading_;
+};
+
+}  // namespace mesh::phy

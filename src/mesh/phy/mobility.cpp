@@ -1,0 +1,67 @@
+#include "mesh/phy/mobility.hpp"
+
+#include <algorithm>
+
+namespace mesh::phy {
+
+RandomWaypointMobility::RandomWaypointMobility(std::size_t nodeCount,
+                                               Params params, Rng rng)
+    : params_{params} {
+  MESH_REQUIRE(params_.minSpeedMps > 0.0);
+  MESH_REQUIRE(params_.maxSpeedMps >= params_.minSpeedMps);
+  MESH_REQUIRE(params_.maxPause >= params_.minPause);
+
+  legs_.resize(nodeCount);
+  for (std::size_t n = 0; n < nodeCount; ++n) {
+    Rng nodeRng = rng.fork("waypoint", n);
+    Vec2 here{nodeRng.uniform(0.0, params_.areaWidthM),
+              nodeRng.uniform(0.0, params_.areaHeightM)};
+    SimTime t = SimTime::zero();
+    while (t < params_.horizon) {
+      const Vec2 dest{nodeRng.uniform(0.0, params_.areaWidthM),
+                      nodeRng.uniform(0.0, params_.areaHeightM)};
+      const double speed =
+          nodeRng.uniform(params_.minSpeedMps, params_.maxSpeedMps);
+      const double distance = here.distanceTo(dest);
+      const SimTime travel = SimTime::seconds(distance / speed);
+      const SimTime pause = params_.minPause +
+                            (params_.maxPause - params_.minPause)
+                                .scaled(nodeRng.uniform(0.0, 1.0));
+      Leg leg;
+      leg.start = t;
+      leg.arrive = t + travel;
+      leg.departNext = leg.arrive + pause;
+      leg.from = here;
+      leg.to = dest;
+      legs_[n].push_back(leg);
+      here = dest;
+      t = leg.departNext;
+    }
+  }
+}
+
+Vec2 RandomWaypointMobility::positionAt(net::NodeId node, SimTime at) const {
+  MESH_REQUIRE(node < legs_.size());
+  const auto& legs = legs_[node];
+  MESH_ASSERT(!legs.empty());
+  // Find the last leg whose departure is <= at (legs are time-ordered).
+  const auto it = std::upper_bound(
+      legs.begin(), legs.end(), at,
+      [](SimTime t, const Leg& leg) { return t < leg.start; });
+  if (it == legs.begin()) return legs.front().from;
+  const Leg& leg = *(it - 1);
+  if (at >= leg.arrive) return leg.to;  // walking done (possibly pausing)
+  const double progress = (at - leg.start).ratio(leg.arrive - leg.start);
+  return leg.from + (leg.to - leg.from) * progress;
+}
+
+std::vector<Vec2> RandomWaypointMobility::initialPositions() const {
+  std::vector<Vec2> out;
+  out.reserve(legs_.size());
+  for (std::size_t n = 0; n < legs_.size(); ++n) {
+    out.push_back(positionAt(static_cast<net::NodeId>(n), SimTime::zero()));
+  }
+  return out;
+}
+
+}  // namespace mesh::phy

@@ -1,0 +1,90 @@
+#pragma once
+// Node mobility models.
+//
+// The paper's premise is a *static* mesh ("the routers in mesh networks
+// are static, and thus dynamic topology changes are much less of a
+// concern"). Mobility support exists to probe that premise: the
+// bench_mobility extension shows how the metrics' advantage erodes as
+// nodes move and probe-measured link state goes stale — the regime the
+// original MANET multicast protocols were designed for.
+//
+// Trajectories are precomputed analytically (waypoint segments), so
+// position queries are pure functions of time: no movement events, no
+// perturbation of the event stream, and bit-exact reproducibility.
+
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/common/simtime.hpp"
+#include "mesh/common/vec2.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::phy {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec2 positionAt(net::NodeId node, SimTime at) const = 0;
+  virtual std::size_t nodeCount() const = 0;
+  // Upper bound on node speed; the channel uses it to budget reachability
+  // slack between cache refreshes.
+  virtual double maxSpeedMps() const = 0;
+};
+
+// No movement: positions fixed forever.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(std::vector<Vec2> positions)
+      : positions_{std::move(positions)} {}
+
+  Vec2 positionAt(net::NodeId node, SimTime) const override {
+    MESH_REQUIRE(node < positions_.size());
+    return positions_[node];
+  }
+  std::size_t nodeCount() const override { return positions_.size(); }
+  double maxSpeedMps() const override { return 0.0; }
+
+ private:
+  std::vector<Vec2> positions_;
+};
+
+// Random waypoint: each node repeatedly picks a uniform destination in the
+// area, walks there at a uniform-random speed, pauses, repeats. The
+// canonical MANET mobility model.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double areaWidthM{1000.0};
+    double areaHeightM{1000.0};
+    double minSpeedMps{1.0};
+    double maxSpeedMps{5.0};
+    SimTime minPause{SimTime::zero()};
+    SimTime maxPause{SimTime::seconds(std::int64_t{10})};
+    // Trajectories are generated up to this horizon; beyond it nodes
+    // freeze at their last waypoint (runs must fit the horizon).
+    SimTime horizon{SimTime::seconds(std::int64_t{600})};
+  };
+
+  RandomWaypointMobility(std::size_t nodeCount, Params params, Rng rng);
+
+  Vec2 positionAt(net::NodeId node, SimTime at) const override;
+  std::size_t nodeCount() const override { return legs_.size(); }
+  double maxSpeedMps() const override { return params_.maxSpeedMps; }
+
+  // Initial placement (t = 0), e.g. for connectivity checks.
+  std::vector<Vec2> initialPositions() const;
+
+ private:
+  struct Leg {
+    SimTime start;       // departure time from `from`
+    SimTime arrive;      // arrival time at `to`
+    SimTime departNext;  // arrive + pause
+    Vec2 from;
+    Vec2 to;
+  };
+
+  Params params_;
+  std::vector<std::vector<Leg>> legs_;  // per node, time-ordered
+};
+
+}  // namespace mesh::phy

@@ -1,0 +1,51 @@
+#pragma once
+// Radio and channel parameters.
+//
+// Defaults reproduce the classic 914 MHz WaveLAN profile that Glomosim and
+// ns-2 ship with: 250 m nominal reception range and 550 m carrier-sense
+// range under TwoRay ground propagation — the exact regime of the paper's
+// simulation setup ("radio propagation range was 250m and the channel
+// capacity was 2 Mbps").
+
+#include <cstddef>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/common/units.hpp"
+
+namespace mesh::phy {
+
+struct PhyParams {
+  // Transmit power: 0.28183815 W ≈ 24.5 dBm (WaveLAN).
+  double txPowerW{0.28183815};
+  // Antenna gains (linear) and system loss.
+  double antennaGainTx{1.0};
+  double antennaGainRx{1.0};
+  double systemLoss{1.0};
+  // Antenna height above ground (m), used by TwoRay.
+  double antennaHeightM{1.5};
+  // Carrier frequency (Hz).
+  double frequencyHz{914e6};
+  // Reception threshold: mean received power for a 250 m TwoRay link.
+  double rxThresholdW{3.652e-10};
+  // Carrier-sense threshold: 550 m TwoRay link.
+  double csThresholdW{1.559e-11};
+  // Minimum SINR (linear) for a locked frame to survive interference.
+  // 10 dB is the ns-2/Glomosim capture threshold.
+  double sinrCaptureThreshold{10.0};
+  // Receiver noise floor (W). ~2 MHz bandwidth, 10 dB noise figure.
+  double noiseFloorW{thermalNoiseWatts(2e6, 10.0)};
+  // Payload bit rate. 2 Mbps = the 802.11 broadcast basic rate the paper
+  // uses for both data and control.
+  double bitRateBps{2e6};
+  // PLCP preamble + header: 802.11 DSSS long preamble, sent at 1 Mbps.
+  SimTime plcpOverhead{SimTime::microseconds(std::int64_t{192})};
+
+  double wavelengthM() const { return 299'792'458.0 / frequencyHz; }
+
+  // Airtime of a frame of `bytes` total MAC-layer size.
+  SimTime frameAirtime(std::size_t bytes) const {
+    return plcpOverhead + transmissionTime(bytes, bitRateBps);
+  }
+};
+
+}  // namespace mesh::phy

@@ -1,0 +1,48 @@
+#include "mesh/phy/propagation.hpp"
+
+#include <cmath>
+
+namespace mesh::phy {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+// Co-located radios would yield infinite Friis power; clamp distance.
+constexpr double kMinDistanceM = 0.1;
+}  // namespace
+
+double FriisModel::atDistance(const PhyParams& p, double d) {
+  d = std::max(d, kMinDistanceM);
+  const double lambda = p.wavelengthM();
+  const double denom = 4.0 * kPi * d;
+  return p.txPowerW * p.antennaGainTx * p.antennaGainRx * lambda * lambda /
+         (denom * denom * p.systemLoss);
+}
+
+double FriisModel::rxPowerW(const PhyParams& p, Vec2 tx, Vec2 rx) const {
+  return atDistance(p, tx.distanceTo(rx));
+}
+
+double TwoRayGroundModel::crossoverDistanceM(const PhyParams& p) {
+  return 4.0 * kPi * p.antennaHeightM * p.antennaHeightM / p.wavelengthM();
+}
+
+double TwoRayGroundModel::atDistance(const PhyParams& p, double d) {
+  d = std::max(d, kMinDistanceM);
+  if (d < crossoverDistanceM(p)) return FriisModel::atDistance(p, d);
+  const double ht = p.antennaHeightM;
+  const double hr = p.antennaHeightM;
+  return p.txPowerW * p.antennaGainTx * p.antennaGainRx * ht * ht * hr * hr /
+         (d * d * d * d * p.systemLoss);
+}
+
+double TwoRayGroundModel::rxPowerW(const PhyParams& p, Vec2 tx, Vec2 rx) const {
+  return atDistance(p, tx.distanceTo(rx));
+}
+
+double LogDistanceModel::rxPowerW(const PhyParams& p, Vec2 tx, Vec2 rx) const {
+  const double d = std::max(tx.distanceTo(rx), kMinDistanceM);
+  const double pr0 = FriisModel::atDistance(p, referenceDistanceM_);
+  if (d <= referenceDistanceM_) return pr0;
+  return pr0 / std::pow(d / referenceDistanceM_, exponent_);
+}
+
+}  // namespace mesh::phy

@@ -1,0 +1,142 @@
+#include "mesh/phy/radio.hpp"
+
+#include <algorithm>
+
+#include "mesh/common/log.hpp"
+#include "mesh/phy/channel.hpp"
+
+namespace mesh::phy {
+
+Radio::Radio(sim::Simulator& simulator, net::NodeId node, PhyParams params)
+    : simulator_{simulator}, node_{node}, params_{params} {}
+
+bool Radio::mediumBusy() const {
+  if (isTransmitting() || lockedActive_) return true;
+  return totalInbandPowerW() >= params_.csThresholdW;
+}
+
+double Radio::totalInbandPowerW() const {
+  double sum = 0.0;
+  for (const auto& a : arrivals_) sum += a.rxPowerW;
+  return sum;
+}
+
+double Radio::interferenceFor(std::uint64_t excludedKey) const {
+  double sum = 0.0;
+  for (const auto& a : arrivals_) {
+    if (a.key != excludedKey) sum += a.rxPowerW;
+  }
+  return sum;
+}
+
+void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
+  MESH_REQUIRE(channel_ != nullptr);
+  MESH_REQUIRE(!isTransmitting());
+  // Transmission preempts any in-progress reception: the locked frame is
+  // lost (half-duplex). The MAC avoids this by deferring, but a JOIN REPLY
+  // scheduled with zero jitter can race a reception; model the loss rather
+  // than forbid it.
+  if (lockedActive_) {
+    lockedActive_ = false;
+    lockedCorrupted_ = false;
+    ++stats_.framesMissedBusy;
+  }
+  txUntil_ = simulator_.now() + airtime;
+  ++stats_.framesSent;
+  stats_.bytesSent += frame->sizeBytes();
+  stats_.airtimeTx += airtime;
+  simulator_.schedule(airtime, [this] { endTransmit(); });
+  channel_->transmit(*this, frame, airtime);
+  notifyMediumIfChanged();
+}
+
+void Radio::endTransmit() {
+  // txUntil_ reached; medium may have gone idle.
+  notifyMediumIfChanged();
+}
+
+void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
+                         double rxPowerW, SimTime airtime) {
+  const std::uint64_t key = ++nextArrivalKey_;
+  arrivals_.push_back(Arrival{key, frame, transmitter, rxPowerW,
+                              simulator_.now() + airtime});
+  simulator_.schedule(airtime, [this, key] { endArrival(key); });
+
+  const bool decodable = rxPowerW >= params_.rxThresholdW;
+  if (decodable && !isTransmitting() && !lockedActive_) {
+    // Lock onto this frame.
+    lockedActive_ = true;
+    lockedKey_ = key;
+    lockedCorrupted_ = false;
+    reevaluateLockedSinr();
+  } else if (decodable) {
+    // Strong enough to decode, but the radio is occupied.
+    ++stats_.framesMissedBusy;
+    if (lockedActive_) reevaluateLockedSinr();
+  } else {
+    ++stats_.framesBelowThreshold;
+    if (lockedActive_) reevaluateLockedSinr();
+  }
+  notifyMediumIfChanged();
+}
+
+void Radio::endArrival(std::uint64_t key) {
+  const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                               [key](const Arrival& a) { return a.key == key; });
+  MESH_ASSERT(it != arrivals_.end());
+  const Arrival arrival = std::move(*it);
+  arrivals_.erase(it);
+
+  if (lockedActive_ && lockedKey_ == key) {
+    lockedActive_ = false;
+    if (lockedCorrupted_) {
+      ++stats_.framesCorrupted;
+    } else {
+      ++stats_.framesDelivered;
+      stats_.bytesDelivered += arrival.frame->sizeBytes();
+      if (rxCallback_) {
+        RxInfo info;
+        info.transmitter = arrival.transmitter;
+        info.rxPowerW = arrival.rxPowerW;
+        const double denom = params_.noiseFloorW + interferenceFor(key);
+        info.sinr = arrival.rxPowerW / denom;
+        rxCallback_(arrival.frame, info);
+      }
+    }
+    lockedCorrupted_ = false;
+  } else if (lockedActive_) {
+    // Some other signal ended; the locked frame's SINR just improved, but
+    // corruption is latched, so only re-evaluate for logging symmetry.
+    reevaluateLockedSinr();
+  }
+  notifyMediumIfChanged();
+}
+
+void Radio::reevaluateLockedSinr() {
+  MESH_ASSERT(lockedActive_);
+  if (lockedCorrupted_) return;
+  const auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                               [this](const Arrival& a) { return a.key == lockedKey_; });
+  MESH_ASSERT(it != arrivals_.end());
+  const double sinr =
+      it->rxPowerW / (params_.noiseFloorW + interferenceFor(lockedKey_));
+  if (sinr < params_.sinrCaptureThreshold) {
+    lockedCorrupted_ = true;
+    MESH_TRACE("phy", "node %u: locked frame corrupted (sinr=%.2f)", node_, sinr);
+  }
+}
+
+void Radio::notifyMediumIfChanged() {
+  const bool busy = mediumBusy();
+  if (busy != lastReportedBusy_) {
+    if (busy) {
+      busySince_ = simulator_.now();
+    } else {
+      busyAccum_ += simulator_.now() - busySince_;
+    }
+    lastReportedBusy_ = busy;
+    if (mediumCallback_) mediumCallback_(busy);
+  }
+}
+
+}  // namespace mesh::phy

@@ -1,0 +1,142 @@
+#pragma once
+// Radio: one node's half-duplex transceiver.
+//
+// The radio tracks every signal arriving at it (not only decodable ones):
+// their summed power drives both carrier sense and the SINR of the frame
+// the radio has locked onto. Reception rules follow Glomosim/ns-2:
+//
+//  * A frame "locks" the receiver if the radio is idle (not transmitting,
+//    not already locked) and its power is >= rxThreshold.
+//  * While a frame is locked, the SINR locked/(noise + Σ other signals) is
+//    re-evaluated whenever any signal starts or ends; if it ever drops
+//    below the capture threshold, the frame is marked corrupted (latched)
+//    — this is how collisions and hidden terminals destroy broadcast
+//    frames, which have no RTS/CTS protection or retransmission.
+//  * A frame arriving while the radio is transmitting is never decoded
+//    (half-duplex) but its energy still counts for carrier sense.
+//
+// The MAC observes the medium through mediumBusy() plus a busy/idle edge
+// callback, and receives successfully decoded frames via the rx callback.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/phy/frame.hpp"
+#include "mesh/phy/phy_params.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::phy {
+
+class Channel;
+
+// Delivered to the MAC together with a successfully received frame.
+struct RxInfo {
+  net::NodeId transmitter{net::kInvalidNode};
+  double rxPowerW{0.0};
+  double sinr{0.0};  // SINR at end of reception
+};
+
+struct RadioStats {
+  std::uint64_t framesSent{0};
+  std::uint64_t framesDelivered{0};      // decoded and handed to MAC
+  std::uint64_t framesCorrupted{0};      // locked but SINR dipped (collision)
+  std::uint64_t framesBelowThreshold{0}; // energy sensed, never decodable
+  std::uint64_t framesMissedBusy{0};     // arrived while radio Tx/Rx-locked
+  std::uint64_t bytesSent{0};
+  std::uint64_t bytesDelivered{0};
+  SimTime airtimeTx{SimTime::zero()};
+};
+
+class Radio {
+ public:
+  using RxCallback = std::function<void(const PhyFramePtr&, const RxInfo&)>;
+  using MediumCallback = std::function<void(bool busy)>;
+
+  Radio(sim::Simulator& simulator, net::NodeId node, PhyParams params);
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  net::NodeId nodeId() const { return node_; }
+  const PhyParams& params() const { return params_; }
+
+  void setReceiveCallback(RxCallback cb) { rxCallback_ = std::move(cb); }
+  void setMediumCallback(MediumCallback cb) { mediumCallback_ = std::move(cb); }
+
+  // --- MAC-facing ---------------------------------------------------------
+
+  // Start transmitting; the caller (MAC) has already done carrier sensing
+  // and computed the airtime. Transmitting while busy is a programming
+  // error in the MAC, not a channel condition.
+  void transmit(const PhyFramePtr& frame, SimTime airtime);
+
+  bool isTransmitting() const { return txUntil_ > simulator_.now(); }
+  bool isLocked() const { return lockedActive_; }
+  // Carrier sense: physically busy (tx/rx) or total in-band energy above
+  // the CS threshold. (NAV-based virtual carrier sense lives in the MAC.)
+  bool mediumBusy() const;
+
+  const RadioStats& stats() const { return stats_; }
+
+  // Cumulative time the medium has read busy at this radio (tx, rx-locked,
+  // or energy above carrier sense). Drives the adaptive probing controller.
+  SimTime busyTime() const {
+    SimTime total = busyAccum_;
+    if (lastReportedBusy_) total += simulator_.now() - busySince_;
+    return total;
+  }
+
+  // --- Channel-facing -----------------------------------------------------
+
+  void attachChannel(Channel* channel) { channel_ = channel; }
+
+  // Called by the channel at the instant the first energy of a frame
+  // reaches this radio. The radio schedules the end of the arrival itself.
+  void beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
+                    double rxPowerW, SimTime airtime);
+
+ private:
+  struct Arrival {
+    std::uint64_t key;
+    PhyFramePtr frame;
+    net::NodeId transmitter;
+    double rxPowerW;
+    SimTime end;
+  };
+
+  void endArrival(std::uint64_t key);
+  void endTransmit();
+
+  double interferenceFor(std::uint64_t excludedKey) const;
+  double totalInbandPowerW() const;
+  void reevaluateLockedSinr();
+  void notifyMediumIfChanged();
+
+  sim::Simulator& simulator_;
+  net::NodeId node_;
+  PhyParams params_;
+  Channel* channel_{nullptr};
+
+  RxCallback rxCallback_;
+  MediumCallback mediumCallback_;
+
+  std::vector<Arrival> arrivals_;
+  std::uint64_t nextArrivalKey_{0};
+
+  bool lockedActive_{false};
+  std::uint64_t lockedKey_{0};
+  bool lockedCorrupted_{false};
+
+  SimTime txUntil_{SimTime::zero()};
+
+  bool lastReportedBusy_{false};
+  SimTime busySince_{SimTime::zero()};
+  SimTime busyAccum_{SimTime::zero()};
+  RadioStats stats_;
+};
+
+}  // namespace mesh::phy

@@ -1,0 +1,122 @@
+#pragma once
+// Pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, insertion sequence). The secondary
+// key makes event ordering fully deterministic: two events scheduled for
+// the same instant fire in the order they were scheduled. Cancellation is
+// lazy — cancelled entries stay in the heap and are skipped on pop — which
+// keeps both schedule and cancel O(log n) amortized without an indexed heap.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/common/simtime.hpp"
+
+namespace mesh::sim {
+
+// Opaque handle to a scheduled event. Default-constructed handles are null.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr std::uint64_t raw() const { return id_; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventId(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_{0};
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId push(SimTime time, Callback cb) {
+    MESH_ASSERT(cb != nullptr);
+    const std::uint64_t id = ++nextId_;
+    heap_.push(Entry{time, id, std::move(cb)});
+    ++live_;
+    return EventId{id};
+  }
+
+  // Cancel a pending event. Returns false if the handle is null, already
+  // fired, or already cancelled.
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    if (id.raw() > nextId_) return false;
+    // Only mark if it could still be pending; popped events are forgotten.
+    const auto [_, inserted] = cancelled_.insert(id.raw());
+    if (!inserted) return false;
+    if (live_ > 0) --live_;
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Earliest pending (non-cancelled) event time. Queue must not be empty.
+  SimTime nextTime() {
+    skipCancelled();
+    MESH_REQUIRE(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  // Pop and return the earliest pending event. Queue must not be empty.
+  struct Popped {
+    SimTime time;
+    Callback callback;
+  };
+  Popped pop() {
+    skipCancelled();
+    MESH_REQUIRE(!heap_.empty());
+    // priority_queue::top() is const; the callback must be moved out, so we
+    // cast away constness of the entry we are about to pop. This is the
+    // standard idiom for move-out-of-priority_queue and is safe because the
+    // entry is removed immediately afterwards.
+    auto& top = const_cast<Entry&>(heap_.top());
+    Popped out{top.time, std::move(top.callback)};
+    heap_.pop();
+    MESH_ASSERT(live_ > 0);
+    --live_;
+    return out;
+  }
+
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    live_ = 0;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+    // Min-heap: priority_queue keeps the *largest* on top, so invert.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void skipCancelled() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().seq);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t nextId_{0};
+  std::size_t live_{0};
+};
+
+}  // namespace mesh::sim

@@ -1,0 +1,3 @@
+// The sim module is header-only; this TU anchors the static library.
+#include "mesh/sim/simulator.hpp"
+#include "mesh/sim/timer.hpp"

@@ -1,0 +1,127 @@
+#pragma once
+// Timer: an owned, restartable one-shot timer.
+//
+// Protocol state machines (MAC backoff, ODMRP's δ and α windows, probe
+// schedules) need timers that can be (re)started, cancelled, and that never
+// fire after their owner is destroyed. Timer wraps an EventId and cancels
+// it on destruction, so a protocol object can hold Timers by value and get
+// lifetime safety for free (the callback captures `this`; the Timer dying
+// with `this` guarantees the callback cannot outlive it).
+
+#include <functional>
+#include <utility>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  // The simulator must outlive the timer.
+  explicit Timer(Simulator& simulator) : simulator_{&simulator} {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  Timer(Timer&& o) noexcept
+      : simulator_{o.simulator_}, id_{std::exchange(o.id_, EventId{})},
+        expiry_{o.expiry_} {}
+  Timer& operator=(Timer&& o) noexcept {
+    if (this != &o) {
+      cancel();
+      simulator_ = o.simulator_;
+      id_ = std::exchange(o.id_, EventId{});
+      expiry_ = o.expiry_;
+    }
+    return *this;
+  }
+
+  ~Timer() { cancel(); }
+
+  // (Re)arm the timer `delay` from now. An already-armed timer is cancelled
+  // first — the timer fires at most once per arm.
+  void start(SimTime delay, Callback cb) {
+    cancel();
+    expiry_ = simulator_->now() + (delay.isNegative() ? SimTime::zero() : delay);
+    id_ = simulator_->schedule(delay, [this, cb = std::move(cb)] {
+      id_ = EventId{};  // mark expired before invoking, so isRunning() is
+                        // false inside the callback and restart works
+      cb();
+    });
+  }
+
+  void cancel() {
+    if (id_.valid()) {
+      simulator_->cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  bool isRunning() const { return id_.valid(); }
+
+  // Absolute expiry of the last arm; meaningful only while running.
+  SimTime expiry() const { return expiry_; }
+
+  // Time remaining; zero when not running or already due.
+  SimTime remaining() const {
+    if (!isRunning() || expiry_ <= simulator_->now()) return SimTime::zero();
+    return expiry_ - simulator_->now();
+  }
+
+ private:
+  Simulator* simulator_;
+  EventId id_{};
+  SimTime expiry_{SimTime::zero()};
+};
+
+// PeriodicTimer: fires repeatedly with a fixed or caller-supplied period.
+// Used by probe agents (fixed period + jitter) and ODMRP query refresh.
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+  // `nextDelay` is consulted after every firing; returning a negative time
+  // stops the cycle. This lets probe agents add per-cycle jitter.
+  using DelayFn = std::function<SimTime()>;
+
+  explicit PeriodicTimer(Simulator& simulator) : timer_{simulator} {}
+
+  void start(DelayFn nextDelay, Callback onFire) {
+    nextDelay_ = std::move(nextDelay);
+    onFire_ = std::move(onFire);
+    arm();
+  }
+
+  // Convenience: fixed period, first firing after `initialDelay`.
+  void startFixed(SimTime initialDelay, SimTime period, Callback onFire) {
+    onFire_ = std::move(onFire);
+    nextDelay_ = [period] { return period; };
+    timer_.start(initialDelay, [this] { fire(); });
+  }
+
+  void stop() {
+    timer_.cancel();
+    nextDelay_ = nullptr;
+    onFire_ = nullptr;
+  }
+
+  bool isRunning() const { return timer_.isRunning(); }
+
+ private:
+  void arm() {
+    const SimTime d = nextDelay_();
+    if (d.isNegative()) return;
+    timer_.start(d, [this] { fire(); });
+  }
+  void fire() {
+    onFire_();
+    if (nextDelay_) arm();
+  }
+
+  Timer timer_;
+  DelayFn nextDelay_;
+  Callback onFire_;
+};
+
+}  // namespace mesh::sim

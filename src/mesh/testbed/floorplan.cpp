@@ -1,0 +1,62 @@
+#include "mesh/testbed/floorplan.hpp"
+
+namespace mesh::testbed {
+
+const std::array<int, kNodeCount>& Floorplan::labels() {
+  static const std::array<int, kNodeCount> kLabels{1, 2, 3, 4, 5, 7, 9, 10};
+  return kLabels;
+}
+
+net::NodeId Floorplan::idForLabel(int label) {
+  const auto& all = labels();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == label) return static_cast<net::NodeId>(i);
+  }
+  MESH_REQUIRE(false);
+  return net::kInvalidNode;
+}
+
+std::vector<Vec2> Floorplan::positions() {
+  // Floor is ~73 m × 26 m; coordinates eyeballed from Figure 4.
+  const auto id = [](int label) { return Floorplan::idForLabel(label); };
+  std::vector<Vec2> p(kNodeCount);
+  p[id(5)] = {6.0, 20.0};
+  p[id(4)] = {9.0, 5.0};
+  p[id(9)] = {22.0, 7.0};
+  p[id(7)] = {33.0, 18.0};
+  p[id(3)] = {45.0, 11.0};
+  p[id(2)] = {58.0, 20.0};
+  p[id(1)] = {64.0, 9.0};
+  p[id(10)] = {68.0, 22.0};
+  return p;
+}
+
+const std::vector<FloorLink>& Floorplan::links() {
+  const auto id = [](int label) { return Floorplan::idForLabel(label); };
+  static const std::vector<FloorLink> kLinks{
+      // Dashed (lossy) links.
+      {id(2), id(5), true},
+      {id(4), id(7), true},
+      {id(1), id(3), true},
+      {id(9), id(3), true},
+      // Solid (low-loss) links.
+      {id(2), id(10), false},
+      {id(10), id(5), false},
+      {id(4), id(9), false},
+      {id(9), id(7), false},
+      {id(2), id(7), false},
+      {id(2), id(1), false},
+      {id(7), id(3), false},
+      {id(4), id(10), false},
+  };
+  return kLinks;
+}
+
+std::vector<Floorplan::GroupDef> Floorplan::paperGroups() {
+  return {
+      GroupDef{1, {idForLabel(2)}, {idForLabel(3), idForLabel(5)}},
+      GroupDef{2, {idForLabel(4)}, {idForLabel(1), idForLabel(7)}},
+  };
+}
+
+}  // namespace mesh::testbed

@@ -1,0 +1,60 @@
+#pragma once
+// The Purdue 8-node mesh testbed (Section 5, Figure 4), emulated.
+//
+// The paper deploys eight mesh routers on one floor of an office building
+// (~240 ft × 86 ft ≈ 73 m × 26 m) and reports connectivity qualitatively:
+// solid links (low/no loss), dashed links (lossy, 40–60% loss measured by
+// ping), and no line at all for pairs that cannot communicate. Loss rates
+// "change fairly quickly" over time.
+//
+// Node labels follow the paper's figure: {1, 2, 3, 4, 5, 7, 9, 10}. The
+// link set is reconstructed from Figure 4 and the path discussion of
+// Section 5.3 (e.g. "node 4 can reach 1 via 10 and 2, or 7 and 2, or
+// 7 and 3, or 9 and 3"):
+//
+//   lossy (dashed): 2–5, 4–7, 1–3, 9–3
+//   solid         : 2–10, 10–5, 4–9, 9–7, 2–7, 2–1, 7–3, 4–10
+//
+// Groups (Section 5.3): group 1 has source 2 and receivers {3, 5};
+// group 2 has source 4 and receivers {1, 7}.
+
+#include <array>
+#include <vector>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/common/vec2.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::testbed {
+
+inline constexpr std::size_t kNodeCount = 8;
+
+struct FloorLink {
+  net::NodeId a;
+  net::NodeId b;
+  bool lossy;
+};
+
+class Floorplan {
+ public:
+  // Paper label of each dense node id (index = NodeId).
+  static const std::array<int, kNodeCount>& labels();
+  static net::NodeId idForLabel(int label);
+  static int labelFor(net::NodeId id) { return labels()[id]; }
+
+  // Approximate office positions (meters), for display only — the link
+  // model is loss-based, not geometric.
+  static std::vector<Vec2> positions();
+
+  static const std::vector<FloorLink>& links();
+
+  // Group setup of Section 5.3, in dense node ids.
+  struct GroupDef {
+    net::GroupId group;
+    std::vector<net::NodeId> sources;
+    std::vector<net::NodeId> members;
+  };
+  static std::vector<GroupDef> paperGroups();
+};
+
+}  // namespace mesh::testbed

@@ -1,0 +1,93 @@
+#include "mesh/testbed/loss_link_model.hpp"
+
+#include <algorithm>
+
+namespace mesh::testbed {
+
+TimeVaryingLossModel::TimeVaryingLossModel(const sim::Simulator& simulator,
+                                           std::size_t nodeCount,
+                                           const std::vector<FloorLink>& links,
+                                           const LossModelParams& params,
+                                           Rng rng)
+    : StaticLinkModel{nodeCount},
+      simulator_{simulator},
+      params_{params} {
+  setLostPowerW(params_.lostPowerW);
+  setDistanceM(params_.distanceM);
+
+  const auto steps = static_cast<std::size_t>(
+      params_.horizon.ns() / params_.stepInterval.ns()) + 2;
+
+  for (const FloorLink& link : links) {
+    setSymmetric(link.a, link.b, params_.goodPowerW);
+
+    Rng linkRng = rng.fork("link", (static_cast<std::uint64_t>(link.a) << 16) | link.b);
+    std::vector<double> schedule(steps);
+    const double stepS = params_.stepInterval.toSeconds();
+
+    if (!link.lossy) {
+      // Solid link: gentle mean-reverting walk inside its class.
+      const double base = linkRng.uniform(params_.solidLossLo, params_.solidLossHi);
+      double rate = base;
+      for (std::size_t s = 0; s < steps; ++s) {
+        schedule[s] = rate;
+        rate += params_.meanReversion * (base - rate) +
+                linkRng.normal(0.0, params_.wanderSigma);
+        rate = std::clamp(rate, 0.0, params_.solidLossHi + 0.05);
+      }
+    } else {
+      // Dashed link: alternate bad and good episodes; each episode draws
+      // its own loss level and exp-distributed length.
+      bool good = false;  // start bad — that is what the ping survey saw
+      double level = linkRng.uniform(params_.dashedLossLo, params_.dashedLossHi);
+      double remainingS =
+          params_.badEpisodeMean.toSeconds() * linkRng.uniform(0.5, 1.5);
+      for (std::size_t s = 0; s < steps; ++s) {
+        schedule[s] = std::clamp(level + linkRng.normal(0.0, params_.wanderSigma),
+                                 0.0, 1.0);
+        remainingS -= stepS;
+        if (remainingS <= 0.0) {
+          good = !good;
+          if (good) {
+            level = linkRng.uniform(params_.goodEpisodeLossLo,
+                                    params_.goodEpisodeLossHi);
+            remainingS =
+                params_.goodEpisodeMean.toSeconds() * linkRng.uniform(0.5, 1.5);
+          } else {
+            level = linkRng.uniform(params_.dashedLossLo, params_.dashedLossHi);
+            remainingS =
+                params_.badEpisodeMean.toSeconds() * linkRng.uniform(0.5, 1.5);
+          }
+        }
+      }
+    }
+    const std::size_t index = schedules_.size();
+    schedules_.push_back(std::move(schedule));
+    scheduleOf_[net::LinkKey{link.a, link.b}] = index;
+    scheduleOf_[net::LinkKey{link.b, link.a}] = index;
+  }
+}
+
+double TimeVaryingLossModel::lossRateNow(net::NodeId from, net::NodeId to) const {
+  const auto it = scheduleOf_.find(net::LinkKey{from, to});
+  if (it == scheduleOf_.end()) return 1.0;  // non-adjacent: nothing arrives
+  return scheduledRate(from, to, simulator_.now());
+}
+
+double TimeVaryingLossModel::scheduledRate(net::NodeId a, net::NodeId b,
+                                           SimTime at) const {
+  const auto it = scheduleOf_.find(net::LinkKey{a, b});
+  MESH_REQUIRE(it != scheduleOf_.end());
+  const auto& schedule = schedules_[it->second];
+  auto step = static_cast<std::size_t>(at.ns() / params_.stepInterval.ns());
+  step = std::min(step, schedule.size() - 1);
+  return schedule[step];
+}
+
+std::unique_ptr<TimeVaryingLossModel> makePurdueFloorModel(
+    const sim::Simulator& simulator, const LossModelParams& params, Rng rng) {
+  return std::make_unique<TimeVaryingLossModel>(
+      simulator, kNodeCount, Floorplan::links(), params, rng);
+}
+
+}  // namespace mesh::testbed

@@ -1,0 +1,212 @@
+// Tests for the traffic layer (CbrSource, MulticastSink) and the harness
+// (scenario builder, MeshNode composition, Simulation accounting).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/harness/experiment.hpp"
+#include "mesh/harness/scenario.hpp"
+#include "mesh/phy/static_link_model.hpp"
+
+namespace mesh::harness {
+namespace {
+
+using namespace mesh::time_literals;
+
+ScenarioConfig tinyScenario(ProtocolSpec protocol, std::uint64_t seed = 3) {
+  ScenarioConfig config;
+  config.nodeCount = 2;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.duration = 60_s;
+  config.traffic.start = 10_s;
+  config.traffic.stop = 50_s;
+  config.groups = {GroupSpec{1, {0}, {1}}};
+  config.linkModelFactory = [](sim::Simulator&, Rng&) {
+    auto model = std::make_unique<phy::StaticLinkModel>(2);
+    model->setSymmetric(0, 1, 1e-8);
+    return model;
+  };
+  return config;
+}
+
+// ------------------------------------------------------------------- CBR
+
+TEST(CbrSource, SendsAtConfiguredRate) {
+  Simulation sim{tinyScenario(ProtocolSpec::original())};
+  const auto results = sim.run();
+  // 40 s of traffic at 20 pkt/s = 800 packets (first packet phase-shifted).
+  EXPECT_NEAR(static_cast<double>(results.packetsSent), 800.0, 2.0);
+  const app::CbrSource* cbr = sim.node(0).cbr();
+  ASSERT_NE(cbr, nullptr);
+  EXPECT_EQ(cbr->packetsSent(), results.packetsSent);
+  EXPECT_EQ(cbr->bytesSent(), results.packetsSent * 512);
+}
+
+TEST(CbrSource, StopsAtStopTime) {
+  ScenarioConfig config = tinyScenario(ProtocolSpec::original());
+  config.traffic.stop = 20_s;  // only 10 s of traffic
+  Simulation sim{std::move(config)};
+  const auto results = sim.run();
+  EXPECT_NEAR(static_cast<double>(results.packetsSent), 200.0, 2.0);
+}
+
+TEST(MulticastSinkTest, DelayIsPositiveAndSmallOnOneHop) {
+  Simulation sim{tinyScenario(ProtocolSpec::original())};
+  sim.run();
+  const auto& sink = sim.node(1).sink();
+  EXPECT_GT(sink.packetsReceived(), 700u);
+  EXPECT_GT(sink.delayStats().min(), 0.0);
+  // One hop at 2 Mbps: ~2.5 ms airtime + queueing.
+  EXPECT_LT(sink.delayStats().mean(), 0.01);
+  EXPECT_EQ(sink.payloadBytesReceived(), sink.packetsReceived() * 512);
+}
+
+// ------------------------------------------------------------- scenarios
+
+TEST(ScenarioBuilder, PaperScenarioMatchesSection41) {
+  const ScenarioConfig config = paperSimulationScenario();
+  EXPECT_EQ(config.nodeCount, 50u);
+  EXPECT_DOUBLE_EQ(config.areaWidthM, 1000.0);
+  EXPECT_DOUBLE_EQ(config.areaHeightM, 1000.0);
+  EXPECT_TRUE(config.rayleighFading);
+  EXPECT_EQ(config.duration, 400_s);
+  EXPECT_EQ(config.traffic.payloadBytes, 512u);
+  EXPECT_DOUBLE_EQ(config.traffic.packetsPerSecond, 20.0);
+  EXPECT_EQ(config.node.odmrp.memberWindowDelta, 30_ms);
+  EXPECT_EQ(config.node.odmrp.dupForwardAlpha, 20_ms);
+}
+
+TEST(ScenarioBuilder, RandomGroupsAreDisjointAndComplete) {
+  Rng rng{9};
+  const auto groups = makeRandomGroups(50, 2, 10, 1, rng);
+  ASSERT_EQ(groups.size(), 2u);
+  std::set<net::NodeId> seen;
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.sources.size(), 1u);
+    EXPECT_EQ(g.members.size(), 10u);
+    for (const auto id : g.sources) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate node role";
+    }
+    for (const auto id : g.members) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate node role";
+      EXPECT_LT(id, 50);
+    }
+  }
+  EXPECT_EQ(groups[0].group, 1);
+  EXPECT_EQ(groups[1].group, 2);
+}
+
+TEST(ScenarioBuilder, RandomGroupsDeterministicPerSeed) {
+  Rng a{4}, b{4}, c{5};
+  const auto ga = makeRandomGroups(30, 2, 5, 2, a);
+  const auto gb = makeRandomGroups(30, 2, 5, 2, b);
+  const auto gc = makeRandomGroups(30, 2, 5, 2, c);
+  EXPECT_EQ(ga[0].members, gb[0].members);
+  EXPECT_EQ(ga[1].sources, gb[1].sources);
+  EXPECT_NE(ga[0].members, gc[0].members);
+}
+
+TEST(ScenarioBuilder, ConnectedPlacementIsConnected) {
+  // With ensureConnected, every built topology's 250 m disk graph links
+  // all nodes; verify via the positions the simulation exposes.
+  ScenarioConfig config = paperSimulationScenario();
+  config.groups = {GroupSpec{1, {0}, {1}}};
+  config.seed = 77;
+  Simulation sim{config};
+  const auto& positions = sim.positions();
+  ASSERT_EQ(positions.size(), 50u);
+  // Spot-check: every node has at least one neighbor within 250 m.
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    bool hasNeighbor = false;
+    for (std::size_t j = 0; j < positions.size() && !hasNeighbor; ++j) {
+      if (i != j && positions[i].distanceTo(positions[j]) <= 250.0) {
+        hasNeighbor = true;
+      }
+    }
+    EXPECT_TRUE(hasNeighbor) << "node " << i << " is isolated";
+  }
+}
+
+// ---------------------------------------------------------- composition
+
+TEST(MeshNodeTest, ByteCountersSeparateKinds) {
+  ScenarioConfig config = tinyScenario(ProtocolSpec::with(metrics::MetricKind::Etx));
+  Simulation sim{std::move(config)};
+  sim.run();
+  const auto& counters = sim.node(1).byteCounters();
+  EXPECT_GT(counters.dataBytesReceived, 0u);
+  EXPECT_GT(counters.probeBytesReceived, 0u);
+  EXPECT_GT(counters.controlBytesReceived, 0u);
+  // Data dwarfs probes at 20 pkt/s vs one probe per 5 s.
+  EXPECT_GT(counters.dataBytesReceived, counters.probeBytesReceived * 10);
+}
+
+TEST(MeshNodeTest, OriginalProtocolHasNoProbeTraffic) {
+  Simulation sim{tinyScenario(ProtocolSpec::original())};
+  sim.run();
+  EXPECT_EQ(sim.node(0).probes().stats().probesSent, 0u);
+  EXPECT_EQ(sim.node(1).byteCounters().probeBytesReceived, 0u);
+  EXPECT_EQ(sim.node(0).metric(), nullptr);
+}
+
+TEST(MeshNodeTest, MetricVariantWiresNeighborTable) {
+  ScenarioConfig config = tinyScenario(ProtocolSpec::with(metrics::MetricKind::Spp));
+  Simulation sim{std::move(config)};
+  sim.run();
+  // After 60 s of 5 s probes both tables know their neighbor well.
+  EXPECT_NEAR(sim.node(1).neighborTable().measure(0, 60_s).df, 1.0, 0.11);
+  ASSERT_NE(sim.node(0).metric(), nullptr);
+  EXPECT_EQ(sim.node(0).metric()->kind(), metrics::MetricKind::Spp);
+}
+
+// ------------------------------------------------------------ experiment
+
+TEST(ExperimentRunner, PairsProtocolsOverSameSeeds) {
+  BenchOptions options;
+  options.topologies = 2;
+  options.duration = 40_s;
+  options.verbose = false;
+
+  int built = 0;
+  std::set<std::uint64_t> seeds;
+  const auto rows = runProtocolComparison(
+      {ProtocolSpec::original(), ProtocolSpec::with(metrics::MetricKind::Etx)},
+      [&](std::uint64_t seed) {
+        ++built;
+        seeds.insert(seed);
+        ScenarioConfig config = tinyScenario(ProtocolSpec::original(), seed);
+        config.duration = 40_s;
+        config.traffic.stop = 35_s;
+        return config;
+      },
+      options);
+
+  EXPECT_EQ(built, 4);          // 2 protocols × 2 topologies
+  EXPECT_EQ(seeds.size(), 2u);  // both protocols saw the same seeds
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "ODMRP");
+  EXPECT_EQ(rows[1].name, "ETX");
+  EXPECT_EQ(rows[0].pdr.count(), 2u);
+  EXPECT_GT(rows[0].pdr.mean(), 0.9);
+  EXPECT_GT(rows[1].pdr.mean(), 0.9);
+}
+
+TEST(ExperimentRunner, EnvDefaultsComeFromArguments) {
+  const BenchOptions options = BenchOptions::fromEnvironment(7, 123);
+  // (No MESH_BENCH_* set in the test environment.)
+  EXPECT_EQ(options.topologies, 7u);
+  EXPECT_EQ(options.duration, SimTime::seconds(std::int64_t{123}));
+}
+
+TEST(ExperimentRunner, Figure2ProtocolListOrder) {
+  const auto protocols = figure2Protocols();
+  ASSERT_EQ(protocols.size(), 6u);
+  EXPECT_FALSE(protocols[0].metric.has_value());
+  EXPECT_EQ(*protocols[1].metric, metrics::MetricKind::Ett);
+  EXPECT_EQ(*protocols[5].metric, metrics::MetricKind::Spp);
+}
+
+}  // namespace
+}  // namespace mesh::harness

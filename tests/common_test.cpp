@@ -1,0 +1,322 @@
+// Unit tests for mesh/common: SimTime, Rng, Ewma, statistics, Vec2, units.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "mesh/common/ewma.hpp"
+#include "mesh/common/rng.hpp"
+#include "mesh/common/simtime.hpp"
+#include "mesh/common/stats.hpp"
+#include "mesh/common/units.hpp"
+#include "mesh/common/vec2.hpp"
+
+namespace mesh {
+namespace {
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimTime, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::seconds(std::int64_t{1}).ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::milliseconds(3).ns(), 3'000'000);
+  EXPECT_EQ(SimTime::microseconds(std::int64_t{7}).ns(), 7'000);
+  EXPECT_EQ(SimTime::nanoseconds(42).ns(), 42);
+  EXPECT_EQ(SimTime::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::seconds(-1.5).ns(), -1'500'000'000);
+}
+
+TEST(SimTime, LiteralsAndArithmetic) {
+  using namespace time_literals;
+  EXPECT_EQ((2_s + 500_ms).ns(), 2'500'000'000);
+  EXPECT_EQ((1_s - 1_us).ns(), 999'999'000);
+  EXPECT_EQ((10_ms * 3).ns(), 30'000'000);
+  EXPECT_EQ((10_ms / 2).ns(), 5'000'000);
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+}
+
+TEST(SimTime, RoundTripSeconds) {
+  const SimTime t = SimTime::seconds(123.456789);
+  EXPECT_NEAR(t.toSeconds(), 123.456789, 1e-9);
+}
+
+TEST(SimTime, ScaledRounds) {
+  using namespace time_literals;
+  EXPECT_EQ((100_ns).scaled(1.5).ns(), 150);
+  EXPECT_EQ((3_ns).scaled(0.5).ns(), 2);  // 1.5 + 0.5 rounds to 2
+}
+
+TEST(SimTime, StrFormatsWholeAndFraction) {
+  using namespace time_literals;
+  EXPECT_EQ((1_s + 500_ms).str(), "1.500000000s");
+  EXPECT_EQ(SimTime::zero().str(), "0.000000000s");
+}
+
+TEST(SimTime, RatioOfDurations) {
+  using namespace time_literals;
+  EXPECT_DOUBLE_EQ((3_s).ratio(2_s), 1.5);
+}
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.nextU64() == b.nextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  Rng parent{7};
+  Rng f1 = parent.fork("fading", 3);
+  Rng f2 = Rng{7}.fork("fading", 3);
+  EXPECT_EQ(f1.nextU64(), f2.nextU64());
+  // A different label or index gives a different stream.
+  Rng g = parent.fork("fading", 4);
+  Rng h = parent.fork("backoff", 3);
+  EXPECT_NE(parent.fork("fading", 3).nextU64(), g.nextU64());
+  EXPECT_NE(parent.fork("fading", 3).nextU64(), h.nextU64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a{9}, b{9};
+  (void)a.fork("x");
+  EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{11};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng{13};
+  OnlineStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRangeInclusive) {
+  Rng rng{17};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{19};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{23};
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, RayleighPowerGainUnitMean) {
+  Rng rng{29};
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.rayleighPowerGain());
+  EXPECT_NEAR(s.mean(), 1.0, 0.02);
+  // P(gain >= 1) = e^-1 for Exp(1).
+  int ge1 = 0;
+  Rng rng2{31};
+  for (int i = 0; i < 100'000; ++i) ge1 += (rng2.rayleighPowerGain() >= 1.0);
+  EXPECT_NEAR(ge1 / 100'000.0, std::exp(-1.0), 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{37};
+  OnlineStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+// ------------------------------------------------------------------- Ewma
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e{0.9};
+  EXPECT_FALSE(e.hasValue());
+  e.update(10.0);
+  EXPECT_TRUE(e.hasValue());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, PaperWeighting) {
+  // Paper: 90% weight to the accumulated average, 10% to the current one.
+  Ewma e{0.9};
+  e.update(10.0);
+  e.update(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.9 * 10.0 + 0.1 * 20.0);
+}
+
+TEST(Ewma, ScaleAppliesPenalty) {
+  Ewma e{0.9};
+  e.update(5.0);
+  e.scale(1.2);  // the PP 20% loss penalty
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);
+}
+
+TEST(Ewma, ScaleBeforeFirstSampleIsNoop) {
+  Ewma e{0.9};
+  e.scale(1.2);
+  EXPECT_FALSE(e.hasValue());
+}
+
+TEST(Ewma, RepeatedPenaltyGrowsExponentially) {
+  // Section 4.2.1: at high loss rates the PP link cost grows as an
+  // exponential function of time. 20 consecutive penalties ≈ 1.2^20.
+  Ewma e{0.9};
+  e.update(1.0);
+  for (int i = 0; i < 20; ++i) e.scale(1.2);
+  EXPECT_NEAR(e.value(), std::pow(1.2, 20), 1e-9);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e{0.9};
+  for (int i = 0; i < 500; ++i) e.update(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma e{0.5};
+  e.update(1.0);
+  e.reset();
+  EXPECT_FALSE(e.hasValue());
+  EXPECT_DOUBLE_EQ(e.valueOr(-1.0), -1.0);
+}
+
+// ------------------------------------------------------------------ Stats
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombined) {
+  Rng rng{41};
+  OnlineStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  Rng rng{43};
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95HalfWidth(), large.ci95HalfWidth());
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90.0), 90.1, 1e-9);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 7.0);
+}
+
+// ------------------------------------------------------------------- Vec2
+
+TEST(Vec2, DistanceAndAlgebra) {
+  const Vec2 a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.distanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.distanceSquaredTo(b), 25.0);
+  EXPECT_EQ((a + b), b);
+  EXPECT_EQ((b - b), a);
+  EXPECT_EQ((b * 2.0), (Vec2{6.0, 8.0}));
+  EXPECT_DOUBLE_EQ(b.dot(Vec2{1.0, 1.0}), 7.0);
+}
+
+// ------------------------------------------------------------------ Units
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_NEAR(dbmToWatts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(dbmToWatts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(wattsToDbm(1e-3), 0.0, 1e-9);
+  for (double dbm : {-90.0, -30.0, 0.0, 15.0}) {
+    EXPECT_NEAR(wattsToDbm(dbmToWatts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_NEAR(dbToLinear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(linearToDb(100.0), 20.0, 1e-12);
+}
+
+TEST(Units, TransmissionTime) {
+  // 512 bytes at 2 Mbps = 2048 us.
+  EXPECT_EQ(transmissionTime(512, 2e6).ns(), 2'048'000);
+  // 1 byte at 1 Mbps = 8 us.
+  EXPECT_EQ(transmissionTime(1, 1e6).ns(), 8'000);
+}
+
+TEST(Units, ThermalNoiseMagnitude) {
+  // ~2 MHz bandwidth, 10 dB noise figure: around -100 dBm.
+  const double n = thermalNoiseWatts(2e6, 10.0);
+  const double dbm = wattsToDbm(n);
+  EXPECT_GT(dbm, -115.0);
+  EXPECT_LT(dbm, -95.0);
+}
+
+}  // namespace
+}  // namespace mesh

@@ -1,0 +1,508 @@
+// Tests for the routing metrics, the measurement estimators, and the
+// probing subsystem — including the paper's Figure 1 and Figure 3 worked
+// examples as exact-value tests and the METX closed form as a property
+// test over random paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/mac/mac80211.hpp"
+#include "mesh/metrics/loss_window.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/metrics/neighbor_table.hpp"
+#include "mesh/metrics/probe_messages.hpp"
+#include "mesh/metrics/probe_service.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/phy/static_link_model.hpp"
+#include "mesh/sim/simulator.hpp"
+
+namespace mesh::metrics {
+namespace {
+
+using namespace mesh::time_literals;
+
+LinkMeasurement withDf(double df) {
+  LinkMeasurement m;
+  m.df = df;
+  return m;
+}
+
+// Path cost of a chain of forward delivery ratios under `metric`.
+double pathCost(const Metric& metric, const std::vector<double>& dfs) {
+  double cost = metric.initialPathCost();
+  for (double df : dfs) cost = metric.accumulate(cost, metric.linkCost(withDf(df)));
+  return cost;
+}
+
+// ------------------------------------------------------------ link costs
+
+TEST(Metric, EtxIsForwardOnlyReciprocal) {
+  auto etx = makeMetric(MetricKind::Etx);
+  EXPECT_DOUBLE_EQ(etx->linkCost(withDf(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(etx->linkCost(withDf(0.5)), 2.0);
+  EXPECT_DOUBLE_EQ(etx->linkCost(withDf(0.25)), 4.0);
+  EXPECT_TRUE(std::isinf(etx->linkCost(withDf(0.0))));
+}
+
+TEST(Metric, SppLinkCostIsTheProbabilityItself) {
+  auto spp = makeMetric(MetricKind::Spp);
+  EXPECT_DOUBLE_EQ(spp->linkCost(withDf(0.7)), 0.7);
+  EXPECT_DOUBLE_EQ(spp->initialPathCost(), 1.0);
+}
+
+TEST(Metric, PpUsesDelayEwma) {
+  auto pp = makeMetric(MetricKind::Pp);
+  LinkMeasurement m;
+  m.df = 0.9;
+  EXPECT_TRUE(std::isinf(pp->linkCost(m)));  // no delay sample yet
+  m.hasDelay = true;
+  m.delayS = 0.005;
+  EXPECT_DOUBLE_EQ(pp->linkCost(m), 0.005);
+}
+
+TEST(Metric, EttCombinesLossAndBandwidth) {
+  auto ett = makeMetric(MetricKind::Ett, 512);
+  LinkMeasurement m;
+  m.df = 0.5;
+  m.hasBandwidth = true;
+  m.bandwidthBps = 1e6;
+  // ETX(2) * 512*8 bits / 1 Mbps = 2 * 4.096 ms.
+  EXPECT_NEAR(ett->linkCost(m), 2.0 * 512.0 * 8.0 / 1e6, 1e-12);
+  m.hasBandwidth = false;
+  EXPECT_TRUE(std::isinf(ett->linkCost(m)));
+}
+
+TEST(Metric, HopIgnoresMeasurements) {
+  auto hop = makeMetric(MetricKind::Hop);
+  EXPECT_DOUBLE_EQ(hop->linkCost(withDf(0.01)), 1.0);
+  EXPECT_DOUBLE_EQ(pathCost(*hop, {0.1, 0.9, 0.5}), 3.0);
+}
+
+TEST(Metric, NamesAndFactoryAgree) {
+  for (MetricKind kind : {MetricKind::Hop, MetricKind::Etx, MetricKind::Ett,
+                          MetricKind::Pp, MetricKind::Metx, MetricKind::Spp}) {
+    auto m = makeMetric(kind);
+    EXPECT_EQ(m->kind(), kind);
+    EXPECT_STREQ(m->name(), toString(kind));
+  }
+}
+
+// ------------------------------------------------- METX closed form (Eq 2)
+
+double metxClosedForm(const std::vector<double>& p) {
+  // METX = Σ_{i=1..n} 1 / Π_{j=i..n} p_j
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double prod = 1.0;
+    for (std::size_t j = i; j < p.size(); ++j) prod *= p[j];
+    total += 1.0 / prod;
+  }
+  return total;
+}
+
+TEST(Metric, MetxSingleLink) {
+  auto metx = makeMetric(MetricKind::Metx);
+  EXPECT_DOUBLE_EQ(pathCost(*metx, {0.5}), 2.0);
+  EXPECT_DOUBLE_EQ(pathCost(*metx, {1.0}), 1.0);
+}
+
+TEST(Metric, MetxRecurrenceMatchesClosedFormTwoLinks) {
+  auto metx = makeMetric(MetricKind::Metx);
+  // p = {0.5, 0.5}: 1/(0.25) + 1/0.5 = 6.
+  EXPECT_NEAR(pathCost(*metx, {0.5, 0.5}), 6.0, 1e-12);
+}
+
+class MetxPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetxPropertyTest, RecurrenceEqualsClosedFormOnRandomPaths) {
+  Rng rng{GetParam()};
+  auto metx = makeMetric(MetricKind::Metx);
+  const auto n = static_cast<std::size_t>(rng.uniformInt(1, 8));
+  std::vector<double> p;
+  for (std::size_t i = 0; i < n; ++i) p.push_back(rng.uniform(0.05, 1.0));
+  const double viaRecurrence = pathCost(*metx, p);
+  const double viaClosedForm = metxClosedForm(p);
+  EXPECT_NEAR(viaRecurrence, viaClosedForm,
+              1e-9 * std::max(1.0, viaClosedForm));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPaths, MetxPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class SppPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SppPropertyTest, PathValueIsProductOfLinkProbabilities) {
+  Rng rng{GetParam() * 977};
+  auto spp = makeMetric(MetricKind::Spp);
+  const auto n = static_cast<std::size_t>(rng.uniformInt(1, 10));
+  std::vector<double> p;
+  double expected = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(rng.uniform(0.0, 1.0));
+    expected *= p.back();
+  }
+  EXPECT_NEAR(pathCost(*spp, p), expected, 1e-12);
+  // SPP of any path is a probability.
+  EXPECT_GE(pathCost(*spp, p), 0.0);
+  EXPECT_LE(pathCost(*spp, p), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPaths, SppPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// -------------------------------------------------- Figure 1 and Figure 3
+
+TEST(PaperExamples, Figure1SppBeatsMetx) {
+  // Figure 1: A–C–D has links with df {1, 1/3}; A–B–D has {0.25, 1}.
+  // METX: A–C–D = 6, A–B–D = 5  -> METX picks A–B–D.
+  // 1/SPP: A–C–D = 3, A–B–D = 4 -> SPP picks A–C–D, the higher-throughput
+  // path (fewer expected transmissions at the source).
+  auto metx = makeMetric(MetricKind::Metx);
+  auto spp = makeMetric(MetricKind::Spp);
+  const std::vector<double> acd{1.0, 1.0 / 3.0};
+  const std::vector<double> abd{0.25, 1.0};
+
+  EXPECT_NEAR(pathCost(*metx, acd), 6.0, 1e-9);
+  EXPECT_NEAR(pathCost(*metx, abd), 5.0, 1e-9);
+  EXPECT_NEAR(1.0 / pathCost(*spp, acd), 3.0, 1e-9);
+  EXPECT_NEAR(1.0 / pathCost(*spp, abd), 4.0, 1e-9);
+
+  // METX chooses A–B–D; SPP chooses A–C–D.
+  EXPECT_TRUE(metx->better(pathCost(*metx, abd), pathCost(*metx, acd)));
+  EXPECT_TRUE(spp->better(pathCost(*spp, acd), pathCost(*spp, abd)));
+}
+
+TEST(PaperExamples, Figure3SppAvoidsSingleLossyLink) {
+  // Figure 3: A–B–C–D with df {0.8, 0.8, 0.8} vs A–E–D with {0.9, 0.4}.
+  // ETX: 3.75 vs 3.61 -> ETX picks the short path with the 40% link.
+  // SPP: 0.512 vs 0.36 -> SPP picks the longer, higher-throughput path.
+  auto etx = makeMetric(MetricKind::Etx);
+  auto spp = makeMetric(MetricKind::Spp);
+  const std::vector<double> abcd{0.8, 0.8, 0.8};
+  const std::vector<double> aed{0.9, 0.4};
+
+  EXPECT_NEAR(pathCost(*etx, abcd), 3.75, 1e-9);
+  EXPECT_NEAR(pathCost(*etx, aed), 1.0 / 0.9 + 1.0 / 0.4, 1e-9);
+  EXPECT_NEAR(pathCost(*spp, abcd), 0.512, 1e-9);
+  EXPECT_NEAR(pathCost(*spp, aed), 0.36, 1e-9);
+
+  EXPECT_TRUE(etx->better(pathCost(*etx, aed), pathCost(*etx, abcd)));
+  EXPECT_TRUE(spp->better(pathCost(*spp, abcd), pathCost(*spp, aed)));
+}
+
+TEST(PaperExamples, WorstPathCostLosesToAnyRealPath) {
+  for (MetricKind kind : kAllMetricKinds) {
+    auto m = makeMetric(kind);
+    LinkMeasurement good;
+    good.df = 0.9;
+    good.hasDelay = true;
+    good.delayS = 0.004;
+    good.hasBandwidth = true;
+    good.bandwidthBps = 1.5e6;
+    const double real =
+        m->accumulate(m->initialPathCost(), m->linkCost(good));
+    EXPECT_TRUE(m->better(real, m->worstPathCost())) << m->name();
+    EXPECT_FALSE(m->better(m->worstPathCost(), real)) << m->name();
+  }
+}
+
+// ------------------------------------------------------------ LossWindow
+
+TEST(LossWindow, PerfectStream) {
+  LossWindow w{10};
+  SimTime t = SimTime::zero();
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    w.onProbe(s, t);
+    t += 5_s;
+  }
+  EXPECT_DOUBLE_EQ(w.df(t, 5_s), 1.0);
+}
+
+TEST(LossWindow, HalfLossStream) {
+  LossWindow w{10};
+  SimTime t = SimTime::zero();
+  for (std::uint32_t s = 0; s < 40; s += 2) {  // every other probe lost
+    w.onProbe(s, t);
+    t += 10_s;
+  }
+  EXPECT_NEAR(w.df(t - 10_s + 1_s, 5_s), 0.5, 0.11);
+}
+
+TEST(LossWindow, WarmupUsesActualCount) {
+  LossWindow w{10};
+  w.onProbe(0, 1_s);
+  EXPECT_DOUBLE_EQ(w.df(1_s, 5_s), 1.0);
+  w.onProbe(1, 6_s);
+  EXPECT_DOUBLE_EQ(w.df(6_s, 5_s), 1.0);
+  // Probe 2 lost, probe 3 received.
+  w.onProbe(3, 16_s);
+  EXPECT_DOUBLE_EQ(w.df(16_s, 5_s), 0.75);
+}
+
+TEST(LossWindow, SilenceDecaysToZero) {
+  LossWindow w{10};
+  SimTime t = SimTime::zero();
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    w.onProbe(s, t);
+    t += 5_s;
+  }
+  const SimTime last = t - 5_s;
+  EXPECT_DOUBLE_EQ(w.df(last, 5_s), 1.0);
+  // After 5 fully-elapsed silent intervals df should have decayed to 0.5
+  // (the boundary grace means the 5th counts only past 25 s + 1 interval).
+  EXPECT_NEAR(w.df(last + 26_s, 5_s), 0.5, 1e-9);
+  // After >= window-size fully-elapsed silent intervals: dead link.
+  EXPECT_DOUBLE_EQ(w.df(last + 51_s, 5_s), 0.0);
+}
+
+TEST(LossWindow, NeverHeardIsZero) {
+  LossWindow w{10};
+  EXPECT_DOUBLE_EQ(w.df(100_s, 5_s), 0.0);
+  EXPECT_FALSE(w.hasSamples());
+}
+
+TEST(LossWindow, DuplicateSeqIgnoredGracefully) {
+  LossWindow w{10};
+  w.onProbe(5, 1_s);
+  w.onProbe(5, 2_s);
+  EXPECT_GT(w.df(2_s, 5_s), 0.0);
+}
+
+// --------------------------------------------------------- NeighborTable
+
+TEST(NeighborTable, UnknownNeighborIsUnusable) {
+  NeighborTable table{5_s};
+  const LinkMeasurement m = table.measure(42, 10_s);
+  EXPECT_DOUBLE_EQ(m.df, 0.0);
+  EXPECT_FALSE(m.hasDelay);
+  EXPECT_FALSE(m.hasBandwidth);
+}
+
+TEST(NeighborTable, SingleProbesBuildDf) {
+  NeighborTable table{5_s};
+  SimTime t = SimTime::zero();
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    table.onProbe({ProbeType::Single, 7, s}, t);
+    t += 5_s;
+  }
+  EXPECT_DOUBLE_EQ(table.measure(7, t - 5_s).df, 1.0);
+  EXPECT_TRUE(table.knows(7));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NeighborTable, CompletePairYieldsDelayAndBandwidth) {
+  NeighborTable table{10_s};
+  table.onProbe({ProbeType::PairSmall, 3, 0}, 100_ms);
+  table.onProbe({ProbeType::PairLarge, 3, 0}, 105_ms);
+  const LinkMeasurement m = table.measure(3, 200_ms);
+  ASSERT_TRUE(m.hasDelay);
+  EXPECT_NEAR(m.delayS, 0.005, 1e-12);
+  ASSERT_TRUE(m.hasBandwidth);
+  EXPECT_NEAR(m.bandwidthBps, kLargeProbeBytes * 8.0 / 0.005, 1e-6);
+  EXPECT_EQ(table.stats().pairsCompleted, 1u);
+}
+
+TEST(NeighborTable, PairEwmaUsesPaperWeights) {
+  NeighborTable table{10_s};
+  table.onProbe({ProbeType::PairSmall, 3, 0}, 100_ms);
+  table.onProbe({ProbeType::PairLarge, 3, 0}, 110_ms);  // 10 ms
+  table.onProbe({ProbeType::PairSmall, 3, 1}, SimTime::seconds(10.1));
+  table.onProbe({ProbeType::PairLarge, 3, 1}, SimTime::seconds(10.12));  // 20 ms
+  const LinkMeasurement m = table.measure(3, 11_s);
+  EXPECT_NEAR(m.delayS, 0.9 * 0.010 + 0.1 * 0.020, 1e-12);
+}
+
+TEST(NeighborTable, LostLargeProbePenalizesOnNextPair) {
+  NeighborTable table{10_s};
+  table.onProbe({ProbeType::PairSmall, 3, 0}, 100_ms);
+  table.onProbe({ProbeType::PairLarge, 3, 0}, 110_ms);  // EWMA = 10 ms
+  table.onProbe({ProbeType::PairSmall, 3, 1}, 10_s);    // large of pair 1 lost
+  table.onProbe({ProbeType::PairSmall, 3, 2}, 20_s);    // supersedes pair 1
+  const LinkMeasurement m = table.measure(3, 21_s);
+  EXPECT_NEAR(m.delayS, 0.010 * 1.2, 1e-12);
+  EXPECT_EQ(table.stats().pairPenalties, 1u);
+}
+
+TEST(NeighborTable, LostSmallProbePenalizesImmediately) {
+  NeighborTable table{10_s};
+  table.onProbe({ProbeType::PairSmall, 3, 0}, 100_ms);
+  table.onProbe({ProbeType::PairLarge, 3, 0}, 110_ms);
+  table.onProbe({ProbeType::PairLarge, 3, 1}, 10_s);  // small of pair 1 lost
+  const LinkMeasurement m = table.measure(3, 11_s);
+  EXPECT_NEAR(m.delayS, 0.010 * 1.2, 1e-12);
+  EXPECT_EQ(table.stats().pairPenalties, 1u);
+}
+
+TEST(NeighborTable, RepeatedLossGrowsCostExponentially) {
+  // Section 4.2.1/5.3: under persistent loss the PP cost explodes — each
+  // incomplete pair multiplies the EWMA by 1.2.
+  NeighborTable table{10_s};
+  table.onProbe({ProbeType::PairSmall, 9, 0}, 0_ms);
+  table.onProbe({ProbeType::PairLarge, 9, 0}, 10_ms);
+  for (std::uint32_t s = 1; s <= 20; ++s) {
+    table.onProbe({ProbeType::PairLarge, 9, s},
+                  SimTime::seconds(static_cast<std::int64_t>(10 * s)));
+  }
+  const LinkMeasurement m = table.measure(9, 210_s);
+  EXPECT_NEAR(m.delayS, 0.010 * std::pow(1.2, 20), 1e-9);
+}
+
+// --------------------------------------------------------- probe framing
+
+TEST(ProbeMessages, SizesMatchPacketPairConvention) {
+  ProbeMessage single{ProbeType::Single, 1, 0};
+  ProbeMessage small{ProbeType::PairSmall, 1, 0};
+  ProbeMessage large{ProbeType::PairLarge, 1, 0};
+  EXPECT_EQ(single.serialize().size(), kSmallProbeBytes);
+  EXPECT_EQ(small.serialize().size(), kSmallProbeBytes);
+  EXPECT_EQ(large.serialize().size(), kLargeProbeBytes);
+}
+
+TEST(ProbeMessages, RoundTrip) {
+  ProbeMessage m{ProbeType::PairLarge, 321, 0xDEADBEEF};
+  const auto parsed = ProbeMessage::parse(m.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, ProbeType::PairLarge);
+  EXPECT_EQ(parsed->sender, 321);
+  EXPECT_EQ(parsed->seq, 0xDEADBEEF);
+}
+
+TEST(ProbeMessages, ParseRejectsShortOrUnknown) {
+  EXPECT_FALSE(ProbeMessage::parse(std::vector<std::uint8_t>(3, 0)).has_value());
+  std::vector<std::uint8_t> bad(16, 0);
+  bad[0] = 9;
+  EXPECT_FALSE(ProbeMessage::parse(bad).has_value());
+}
+
+// ----------------------------------------- probing end-to-end over the MAC
+
+struct ProbeRig {
+  sim::Simulator simulator;
+  phy::StaticLinkModel* links{nullptr};
+  std::unique_ptr<phy::Channel> channel;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::Mac80211>> macs;
+  std::vector<std::unique_ptr<NeighborTable>> tables;
+  std::vector<std::unique_ptr<ProbeService>> services;
+
+  ProbeRig(std::size_t n, const ProbeConfig& config, double rateScale = 1.0,
+           std::uint64_t seed = 17) {
+    auto model = std::make_unique<phy::StaticLinkModel>(n);
+    links = model.get();
+    channel = std::make_unique<phy::Channel>(simulator, std::move(model),
+                                             Rng{seed}.fork("channel"));
+    for (std::size_t i = 0; i < n; ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(
+          simulator, static_cast<net::NodeId>(i), phy::PhyParams{}));
+      channel->attach(*radios.back());
+      macs.push_back(std::make_unique<mac::Mac80211>(
+          simulator, *radios.back(), mac::MacParams{}, Rng{seed}.fork("mac", i)));
+      tables.push_back(std::make_unique<NeighborTable>(
+          config.interval.scaled(1.0 / rateScale), config.lossWindow));
+      services.push_back(std::make_unique<ProbeService>(
+          simulator, static_cast<net::NodeId>(i), config, rateScale,
+          *tables.back(),
+          [this, i](net::PacketPtr p) {
+            macs[i]->send(std::move(p), net::kBroadcastNode);
+          },
+          Rng{seed}.fork("probe", i)));
+      macs.back()->setReceiveCallback(
+          [this, i](const net::PacketPtr& p, net::NodeId) {
+            if (p->kind() == net::PacketKind::Probe) {
+              services[i]->onPacket(p, simulator.now());
+            }
+          });
+    }
+  }
+
+  void startAll() {
+    for (auto& s : services) s->start();
+  }
+};
+
+TEST(ProbeService, SingleProbesPopulateTablesOnCleanLink) {
+  ProbeConfig config{ProbeMode::Single, 5_s, 10};
+  ProbeRig rig{2, config};
+  rig.links->setSymmetric(0, 1, 1e-8);
+  rig.startAll();
+  rig.simulator.run(120_s);
+  EXPECT_NEAR(rig.tables[1]->measure(0, 120_s).df, 1.0, 1e-9);
+  EXPECT_NEAR(rig.tables[0]->measure(1, 120_s).df, 1.0, 1e-9);
+  // ~24 probes in 120 s at 5 s interval (jittered).
+  EXPECT_NEAR(static_cast<double>(rig.services[0]->stats().probesSent), 24.0, 4.0);
+}
+
+TEST(ProbeService, LossyLinkMeasuredAccurately) {
+  ProbeConfig config{ProbeMode::Single, 5_s, 10};
+  ProbeRig rig{2, config, 1.0, /*seed=*/23};
+  rig.links->setSymmetric(0, 1, 1e-8);
+  rig.links->setLossRate(0, 1, 0.45);
+  rig.startAll();
+  rig.simulator.run(600_s);
+  EXPECT_NEAR(rig.tables[1]->measure(0, 600_s).df, 0.55, 0.17);
+  // Reverse direction unaffected.
+  EXPECT_NEAR(rig.tables[0]->measure(1, 600_s).df, 1.0, 1e-9);
+}
+
+TEST(ProbeService, PairProbesYieldBandwidthNearChannelRate) {
+  ProbeConfig config{ProbeMode::Pair, 10_s, 10};
+  ProbeRig rig{2, config};
+  rig.links->setSymmetric(0, 1, 1e-8);
+  rig.startAll();
+  rig.simulator.run(200_s);
+  const LinkMeasurement m = rig.tables[1]->measure(0, 200_s);
+  ASSERT_TRUE(m.hasDelay);
+  ASSERT_TRUE(m.hasBandwidth);
+  // Dispersion on an idle 2 Mbps channel = preamble + 1137 B / 2 Mbps plus
+  // DIFS/backoff gap: delay ~= 4.8-5.5 ms, bandwidth estimate a bit under
+  // 2 Mbps.
+  EXPECT_GT(m.bandwidthBps, 1.2e6);
+  EXPECT_LT(m.bandwidthBps, 2.0e6);
+  EXPECT_GT(m.delayS, 0.004);
+  EXPECT_LT(m.delayS, 0.008);
+}
+
+TEST(ProbeService, RateScaleMultipliesProbeTraffic) {
+  ProbeConfig config{ProbeMode::Single, 5_s, 10};
+  ProbeRig normal{2, config, 1.0};
+  ProbeRig fast{2, config, 5.0};
+  normal.links->setSymmetric(0, 1, 1e-8);
+  fast.links->setSymmetric(0, 1, 1e-8);
+  normal.startAll();
+  fast.startAll();
+  normal.simulator.run(300_s);
+  fast.simulator.run(300_s);
+  const double ratio =
+      static_cast<double>(fast.services[0]->stats().probesSent) /
+      static_cast<double>(normal.services[0]->stats().probesSent);
+  EXPECT_NEAR(ratio, 5.0, 0.6);
+}
+
+TEST(ProbeService, NoneModeSendsNothing) {
+  ProbeConfig config{};  // ProbeMode::None
+  ProbeRig rig{2, config};
+  rig.links->setSymmetric(0, 1, 1e-8);
+  rig.startAll();
+  rig.simulator.run(100_s);
+  EXPECT_EQ(rig.services[0]->stats().probesSent, 0u);
+  EXPECT_FALSE(rig.simulator.hasPendingEvents());
+}
+
+TEST(ProbeService, DeadLinkDecaysAfterProbingStops) {
+  ProbeConfig config{ProbeMode::Single, 5_s, 10};
+  ProbeRig rig{2, config};
+  rig.links->setSymmetric(0, 1, 1e-8);
+  rig.startAll();
+  rig.simulator.run(100_s);
+  ASSERT_GE(rig.tables[1]->measure(0, 100_s).df, 0.9);
+  rig.services[0]->stop();
+  rig.simulator.run(200_s);
+  EXPECT_DOUBLE_EQ(rig.tables[1]->measure(0, 200_s).df, 0.0);
+}
+
+}  // namespace
+}  // namespace mesh::metrics

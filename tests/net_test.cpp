@@ -1,0 +1,150 @@
+// Tests for the net layer: byte-order-explicit serialization and the
+// Packet framework, including round-trip property tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mesh/common/rng.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/buffer.hpp"
+#include "mesh/net/packet.hpp"
+
+namespace mesh::net {
+namespace {
+
+using namespace mesh::time_literals;
+
+// ----------------------------------------------------------------- buffer
+
+TEST(ByteWriterReader, ScalarRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  EXPECT_EQ(bytes.size(), 1u + 2 + 4 + 8 + 8 + 8);
+
+  ByteReader r{bytes};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriterReader, LittleEndianLayout) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+  w.u16(0x1234);
+  EXPECT_EQ(bytes[0], 0x34);
+  EXPECT_EQ(bytes[1], 0x12);
+}
+
+TEST(ByteWriterReader, BytesAndZeros) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  w.bytes(payload);
+  w.zeros(4);
+  EXPECT_EQ(bytes.size(), 7u);
+  EXPECT_EQ(bytes[2], 3);
+  EXPECT_EQ(bytes[6], 0);
+
+  ByteReader r{bytes};
+  const auto got = r.bytes(3);
+  EXPECT_EQ(got[1], 2);
+  r.skip(4);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriterReader, SpecialDoubles) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r{bytes};
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+class BufferPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferPropertyTest, RandomMixedSequencesRoundTrip) {
+  Rng rng{GetParam() * 31 + 7};
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w{bytes};
+
+  std::vector<int> plan;
+  std::vector<std::uint64_t> values;
+  const int fields = static_cast<int>(rng.uniformInt(1, 30));
+  for (int i = 0; i < fields; ++i) {
+    const int kind = static_cast<int>(rng.uniformInt(0, 3));
+    const std::uint64_t value = rng.nextU64();
+    plan.push_back(kind);
+    values.push_back(value);
+    switch (kind) {
+      case 0: w.u8(static_cast<std::uint8_t>(value)); break;
+      case 1: w.u16(static_cast<std::uint16_t>(value)); break;
+      case 2: w.u32(static_cast<std::uint32_t>(value)); break;
+      case 3: w.u64(value); break;
+    }
+  }
+
+  ByteReader r{bytes};
+  for (int i = 0; i < fields; ++i) {
+    switch (plan[static_cast<std::size_t>(i)]) {
+      case 0: EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(values[static_cast<std::size_t>(i)])); break;
+      case 1: EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(values[static_cast<std::size_t>(i)])); break;
+      case 2: EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(values[static_cast<std::size_t>(i)])); break;
+      case 3: EXPECT_EQ(r.u64(), values[static_cast<std::size_t>(i)]); break;
+    }
+  }
+  EXPECT_TRUE(r.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlans, BufferPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ----------------------------------------------------------------- packet
+
+TEST(PacketTest, CarriesMetadataAndBytes) {
+  const auto p = Packet::make(PacketKind::Data, 7, {1, 2, 3, 4}, 5_s);
+  EXPECT_EQ(p->kind(), PacketKind::Data);
+  EXPECT_EQ(p->origin(), 7);
+  EXPECT_EQ(p->createdAt(), 5_s);
+  EXPECT_EQ(p->sizeBytes(), 4u);
+  EXPECT_EQ(p->bytes()[2], 3);
+}
+
+TEST(PacketTest, UidsAreUnique) {
+  const auto a = Packet::make(PacketKind::Probe, 1, {}, 0_s);
+  const auto b = Packet::make(PacketKind::Probe, 1, {}, 0_s);
+  EXPECT_NE(a->uid(), b->uid());
+}
+
+TEST(PacketTest, KindNames) {
+  EXPECT_STREQ(toString(PacketKind::Data), "data");
+  EXPECT_STREQ(toString(PacketKind::Probe), "probe");
+  EXPECT_STREQ(toString(PacketKind::Control), "control");
+  EXPECT_STREQ(toString(PacketKind::MacControl), "mac-control");
+}
+
+TEST(LinkKeyTest, HashAndEquality) {
+  const LinkKey a{1, 2}, b{1, 2}, c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  LinkKeyHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // directed
+}
+
+}  // namespace
+}  // namespace mesh::net

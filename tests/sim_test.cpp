@@ -1,0 +1,296 @@
+// Unit tests for the discrete-event engine: EventQueue, Simulator, Timer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mesh/sim/event_queue.hpp"
+#include "mesh/sim/simulator.hpp"
+#include "mesh/sim/timer.hpp"
+
+namespace mesh::sim {
+namespace {
+
+using namespace mesh::time_literals;
+
+// ------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3_s, [&] { order.push_back(3); });
+  q.push(1_s, [&] { order.push_back(1); });
+  q.push(2_s, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5_s, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.push(1_s, [&] { ++fired; });
+  const EventId id = q.push(2_s, [&] { fired += 10; });
+  q.push(3_s, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(1_s, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelNullHandle) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.push(1_s, [] {});
+  q.push(2_s, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.nextTime(), 2_s);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push(1_s, [] {});
+  q.push(2_s, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// -------------------------------------------------------------- Simulator
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  SimTime seen = SimTime::zero();
+  s.schedule(5_s, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 5_s);
+  EXPECT_EQ(s.now(), 5_s);
+}
+
+TEST(Simulator, RelativeSchedulingComposes) {
+  Simulator s;
+  std::vector<std::int64_t> times;
+  s.schedule(1_s, [&] {
+    times.push_back(s.now().ns());
+    s.schedule(2_s, [&] { times.push_back(s.now().ns()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{1'000'000'000, 3'000'000'000}));
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1_s, [&] { ++fired; });
+  s.schedule(10_s, [&] { ++fired; });
+  const auto executed = s.run(5_s);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_s);   // clock parked at horizon
+  EXPECT_TRUE(s.hasPendingEvents());
+  s.run();                   // resume
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 10_s);
+}
+
+TEST(Simulator, EventAtHorizonStillFires) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(5_s, [&] { ++fired; });
+  s.run(5_s);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(1_s, [&] { ++fired; s.stop(); });
+  s.schedule(2_s, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.hasPendingEvents());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule(1_s, [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  SimTime seen = SimTime::max();
+  s.schedule(2_s, [&] {
+    s.schedule(SimTime::seconds(-1.0), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 2_s);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(SimTime::milliseconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.eventsExecuted(), 7u);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  // Two simulators fed identically must execute identically.
+  auto trace = [] {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      s.schedule(SimTime::milliseconds(i % 7), [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+// ------------------------------------------------------------------ Timer
+
+TEST(Timer, FiresOnce) {
+  Simulator s;
+  Timer t{s};
+  int fired = 0;
+  t.start(1_s, [&] { ++fired; });
+  EXPECT_TRUE(t.isRunning());
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.isRunning());
+}
+
+TEST(Timer, RestartReplacesPrevious) {
+  Simulator s;
+  Timer t{s};
+  int which = 0;
+  t.start(1_s, [&] { which = 1; });
+  t.start(2_s, [&] { which = 2; });
+  s.run();
+  EXPECT_EQ(which, 2);
+  EXPECT_EQ(s.now(), 2_s);
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulator s;
+  Timer t{s};
+  int fired = 0;
+  t.start(1_s, [&] { ++fired; });
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DestructionCancels) {
+  Simulator s;
+  int fired = 0;
+  {
+    Timer t{s};
+    t.start(1_s, [&] { ++fired; });
+  }
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RestartableFromInsideCallback) {
+  Simulator s;
+  Timer t{s};
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 3) t.start(1_s, tick);
+  };
+  t.start(1_s, tick);
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now(), 3_s);
+}
+
+TEST(Timer, RemainingAndExpiry) {
+  Simulator s;
+  Timer t{s};
+  t.start(3_s, [] {});
+  EXPECT_EQ(t.expiry(), 3_s);
+  EXPECT_EQ(t.remaining(), 3_s);
+  s.schedule(1_s, [&] { EXPECT_EQ(t.remaining(), 2_s); });
+  s.run();
+}
+
+TEST(Timer, MoveTransfersOwnership) {
+  Simulator s;
+  int fired = 0;
+  Timer a{s};
+  a.start(1_s, [&] { ++fired; });
+  Timer b{std::move(a)};
+  EXPECT_TRUE(b.isRunning());
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ---------------------------------------------------------- PeriodicTimer
+
+TEST(PeriodicTimer, FixedPeriodFiresRepeatedly) {
+  Simulator s;
+  PeriodicTimer t{s};
+  std::vector<std::int64_t> at;
+  t.startFixed(500_ms, 1_s, [&] { at.push_back(s.now().ns()); });
+  s.run(3_s);
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 500'000'000);
+  EXPECT_EQ(at[1], 1'500'000'000);
+  EXPECT_EQ(at[2], 2'500'000'000);
+}
+
+TEST(PeriodicTimer, StopHaltsCycle) {
+  Simulator s;
+  PeriodicTimer t{s};
+  int count = 0;
+  t.startFixed(1_s, 1_s, [&] {
+    if (++count == 2) t.stop();
+  });
+  s.run(10_s);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, CustomDelayFunction) {
+  Simulator s;
+  PeriodicTimer t{s};
+  std::vector<std::int64_t> at;
+  std::int64_t step = 0;
+  t.start(
+      [&]() -> SimTime {
+        ++step;
+        if (step > 3) return SimTime::seconds(std::int64_t{-1});  // stop
+        return SimTime::seconds(step);  // 1s, 2s, 3s gaps
+      },
+      [&] { at.push_back(s.now().ns()); });
+  s.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 1'000'000'000);
+  EXPECT_EQ(at[1], 3'000'000'000);
+  EXPECT_EQ(at[2], 6'000'000'000);
+}
+
+}  // namespace
+}  // namespace mesh::sim

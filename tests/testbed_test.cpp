@@ -1,0 +1,196 @@
+// Tests for the testbed emulation: the Figure 4 floorplan and the
+// time-varying loss channel.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/harness/scenario.hpp"
+#include "mesh/sim/simulator.hpp"
+#include "mesh/testbed/floorplan.hpp"
+#include "mesh/testbed/loss_link_model.hpp"
+
+namespace mesh::testbed {
+namespace {
+
+using namespace mesh::time_literals;
+
+// -------------------------------------------------------------- floorplan
+
+TEST(FloorplanTest, LabelsRoundTrip) {
+  for (int label : {1, 2, 3, 4, 5, 7, 9, 10}) {
+    const net::NodeId id = Floorplan::idForLabel(label);
+    EXPECT_LT(id, kNodeCount);
+    EXPECT_EQ(Floorplan::labelFor(id), label);
+  }
+}
+
+TEST(FloorplanTest, LinkSetMatchesFigure4) {
+  const auto& links = Floorplan::links();
+  EXPECT_EQ(links.size(), 12u);
+  int lossy = 0;
+  for (const auto& link : links) lossy += link.lossy;
+  EXPECT_EQ(lossy, 4);  // 2-5, 4-7, 1-3, 9-3
+
+  const auto has = [&](int a, int b, bool wantLossy) {
+    const net::NodeId ia = Floorplan::idForLabel(a);
+    const net::NodeId ib = Floorplan::idForLabel(b);
+    for (const auto& link : links) {
+      if ((link.a == ia && link.b == ib) || (link.a == ib && link.b == ia)) {
+        return link.lossy == wantLossy;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(2, 5, true));
+  EXPECT_TRUE(has(4, 7, true));
+  EXPECT_TRUE(has(1, 3, true));
+  EXPECT_TRUE(has(9, 3, true));
+  EXPECT_TRUE(has(2, 10, false));
+  EXPECT_TRUE(has(10, 5, false));
+  EXPECT_TRUE(has(4, 9, false));
+  EXPECT_TRUE(has(9, 7, false));
+  // Section 5.3's path enumeration requires these too.
+  EXPECT_TRUE(has(2, 7, false));
+  EXPECT_TRUE(has(2, 1, false));
+  EXPECT_TRUE(has(7, 3, false));
+  EXPECT_TRUE(has(4, 10, false));
+}
+
+TEST(FloorplanTest, PaperGroups) {
+  const auto groups = Floorplan::paperGroups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].sources, std::vector<net::NodeId>{Floorplan::idForLabel(2)});
+  EXPECT_EQ(groups[0].members,
+            (std::vector<net::NodeId>{Floorplan::idForLabel(3),
+                                      Floorplan::idForLabel(5)}));
+  EXPECT_EQ(groups[1].sources, std::vector<net::NodeId>{Floorplan::idForLabel(4)});
+}
+
+TEST(FloorplanTest, PositionsFitTheFloor) {
+  const auto positions = Floorplan::positions();
+  ASSERT_EQ(positions.size(), kNodeCount);
+  for (const Vec2& p : positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 74.0);  // ~240 ft
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 27.0);  // ~86 ft
+  }
+}
+
+// --------------------------------------------------------- loss schedule
+
+TEST(LossModel, NonAdjacentPairsAreSilent) {
+  sim::Simulator simulator;
+  auto model = makePurdueFloorModel(simulator, LossModelParams{}, Rng{1});
+  const net::NodeId n2 = Floorplan::idForLabel(2);
+  const net::NodeId n4 = Floorplan::idForLabel(4);
+  EXPECT_DOUBLE_EQ(model->meanRxPowerW(n2, n4), 0.0);  // no 2-4 link
+}
+
+TEST(LossModel, AdjacentPairsHaveGoodPower) {
+  sim::Simulator simulator;
+  LossModelParams params;
+  auto model = makePurdueFloorModel(simulator, params, Rng{1});
+  const net::NodeId n2 = Floorplan::idForLabel(2);
+  const net::NodeId n10 = Floorplan::idForLabel(10);
+  EXPECT_DOUBLE_EQ(model->meanRxPowerW(n2, n10), params.goodPowerW);
+  EXPECT_DOUBLE_EQ(model->meanRxPowerW(n10, n2), params.goodPowerW);
+}
+
+TEST(LossModel, SolidLinksStayInClass) {
+  sim::Simulator simulator;
+  LossModelParams params;
+  auto model = makePurdueFloorModel(simulator, params, Rng{2});
+  const net::NodeId a = Floorplan::idForLabel(4);
+  const net::NodeId b = Floorplan::idForLabel(9);
+  for (int t = 0; t < 400; t += 10) {
+    const double rate = model->scheduledRate(a, b, SimTime::seconds(std::int64_t{t}));
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, params.solidLossHi + 0.05 + 1e-9);
+  }
+}
+
+TEST(LossModel, DashedLinksAreMostlyBadButSometimesGood) {
+  sim::Simulator simulator;
+  LossModelParams params;
+  auto model = makePurdueFloorModel(simulator, params, Rng{3});
+  const net::NodeId a = Floorplan::idForLabel(2);
+  const net::NodeId b = Floorplan::idForLabel(5);
+  int bad = 0, good = 0, total = 0;
+  for (int t = 0; t < 590; t += 5) {
+    const double rate = model->scheduledRate(a, b, SimTime::seconds(std::int64_t{t}));
+    ++total;
+    if (rate >= 0.35) ++bad;
+    if (rate <= 0.20) ++good;
+  }
+  EXPECT_GT(bad, total / 2) << "dashed link should be bad most of the time";
+  EXPECT_GT(good, 0) << "dashed link should have good episodes";
+}
+
+TEST(LossModel, BothDirectionsShareOneSchedule) {
+  sim::Simulator simulator;
+  auto model = makePurdueFloorModel(simulator, LossModelParams{}, Rng{4});
+  const net::NodeId a = Floorplan::idForLabel(4);
+  const net::NodeId b = Floorplan::idForLabel(7);
+  for (int t = 0; t < 300; t += 30) {
+    const SimTime at = SimTime::seconds(std::int64_t{t});
+    EXPECT_DOUBLE_EQ(model->scheduledRate(a, b, at), model->scheduledRate(b, a, at));
+  }
+}
+
+TEST(LossModel, DeterministicPerSeed) {
+  sim::Simulator simulator;
+  auto m1 = makePurdueFloorModel(simulator, LossModelParams{}, Rng{5});
+  auto m2 = makePurdueFloorModel(simulator, LossModelParams{}, Rng{5});
+  auto m3 = makePurdueFloorModel(simulator, LossModelParams{}, Rng{6});
+  const net::NodeId a = Floorplan::idForLabel(1);
+  const net::NodeId b = Floorplan::idForLabel(3);
+  bool anyDifferent = false;
+  for (int t = 0; t < 400; t += 20) {
+    const SimTime at = SimTime::seconds(std::int64_t{t});
+    EXPECT_DOUBLE_EQ(m1->scheduledRate(a, b, at), m2->scheduledRate(a, b, at));
+    anyDifferent |= m1->scheduledRate(a, b, at) != m3->scheduledRate(a, b, at);
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(LossModel, LostPowerIsAudibleButUndecodable) {
+  const LossModelParams params;
+  const phy::PhyParams radio;
+  EXPECT_GT(params.lostPowerW, radio.csThresholdW);
+  EXPECT_LT(params.lostPowerW, radio.rxThresholdW);
+  EXPECT_GT(params.goodPowerW, radio.rxThresholdW * 10);
+}
+
+// ----------------------------------------------------------- end-to-end
+
+TEST(TestbedEndToEnd, AllReceiversGetTraffic) {
+  harness::ScenarioConfig config;
+  config.nodeCount = kNodeCount;
+  config.duration = 120_s;
+  config.traffic.start = 20_s;
+  config.traffic.stop = 110_s;
+  config.seed = 11;
+  config.fixedPositions = Floorplan::positions();
+  config.linkModelFactory = [](sim::Simulator& simulator, Rng& rng) {
+    return makePurdueFloorModel(simulator, LossModelParams{}, rng);
+  };
+  for (const auto& group : Floorplan::paperGroups()) {
+    config.groups.push_back(
+        harness::GroupSpec{group.group, group.sources, group.members});
+  }
+  config.protocol = harness::ProtocolSpec::with(metrics::MetricKind::Pp);
+  harness::Simulation sim{config};
+  const auto results = sim.run();
+  EXPECT_GT(results.pdr, 0.5);
+  for (const auto& group : Floorplan::paperGroups()) {
+    for (const net::NodeId member : group.members) {
+      EXPECT_GT(sim.node(member).sink().packetsReceived(), 500u)
+          << "receiver " << Floorplan::labelFor(member);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mesh::testbed
