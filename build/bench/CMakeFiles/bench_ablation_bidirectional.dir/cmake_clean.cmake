@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bidirectional.dir/bench_ablation_bidirectional.cpp.o"
+  "CMakeFiles/bench_ablation_bidirectional.dir/bench_ablation_bidirectional.cpp.o.d"
+  "bench_ablation_bidirectional"
+  "bench_ablation_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

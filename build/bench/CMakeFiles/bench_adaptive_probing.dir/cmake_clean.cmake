@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_probing.dir/bench_adaptive_probing.cpp.o"
+  "CMakeFiles/bench_adaptive_probing.dir/bench_adaptive_probing.cpp.o.d"
+  "bench_adaptive_probing"
+  "bench_adaptive_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

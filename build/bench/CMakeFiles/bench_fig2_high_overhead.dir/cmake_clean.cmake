@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_high_overhead.dir/bench_fig2_high_overhead.cpp.o"
+  "CMakeFiles/bench_fig2_high_overhead.dir/bench_fig2_high_overhead.cpp.o.d"
+  "bench_fig2_high_overhead"
+  "bench_fig2_high_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_high_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_testbed.dir/bench_fig2_testbed.cpp.o"
+  "CMakeFiles/bench_fig2_testbed.dir/bench_fig2_testbed.cpp.o.d"
+  "bench_fig2_testbed"
+  "bench_fig2_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_throughput_sim.dir/bench_fig2_throughput_sim.cpp.o"
+  "CMakeFiles/bench_fig2_throughput_sim.dir/bench_fig2_throughput_sim.cpp.o.d"
+  "bench_fig2_throughput_sim"
+  "bench_fig2_throughput_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_throughput_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

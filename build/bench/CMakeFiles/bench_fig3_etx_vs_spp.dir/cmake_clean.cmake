@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_etx_vs_spp.dir/bench_fig3_etx_vs_spp.cpp.o"
+  "CMakeFiles/bench_fig3_etx_vs_spp.dir/bench_fig3_etx_vs_spp.cpp.o.d"
+  "bench_fig3_etx_vs_spp"
+  "bench_fig3_etx_vs_spp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_etx_vs_spp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_trees.dir/bench_fig5_trees.cpp.o"
+  "CMakeFiles/bench_fig5_trees.dir/bench_fig5_trees.cpp.o.d"
+  "bench_fig5_trees"
+  "bench_fig5_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mobility.dir/bench_mobility.cpp.o"
+  "CMakeFiles/bench_mobility.dir/bench_mobility.cpp.o.d"
+  "bench_mobility"
+  "bench_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

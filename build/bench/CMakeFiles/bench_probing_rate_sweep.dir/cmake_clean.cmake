@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probing_rate_sweep.dir/bench_probing_rate_sweep.cpp.o"
+  "CMakeFiles/bench_probing_rate_sweep.dir/bench_probing_rate_sweep.cpp.o.d"
+  "bench_probing_rate_sweep"
+  "bench_probing_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probing_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_probing_rate_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_multisource.dir/bench_sec43_multisource.cpp.o"
+  "CMakeFiles/bench_sec43_multisource.dir/bench_sec43_multisource.cpp.o.d"
+  "bench_sec43_multisource"
+  "bench_sec43_multisource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

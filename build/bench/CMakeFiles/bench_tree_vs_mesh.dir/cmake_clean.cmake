@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_vs_mesh.dir/bench_tree_vs_mesh.cpp.o"
+  "CMakeFiles/bench_tree_vs_mesh.dir/bench_tree_vs_mesh.cpp.o.d"
+  "bench_tree_vs_mesh"
+  "bench_tree_vs_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_vs_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

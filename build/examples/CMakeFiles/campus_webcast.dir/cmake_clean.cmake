@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_webcast.dir/campus_webcast.cpp.o"
+  "CMakeFiles/campus_webcast.dir/campus_webcast.cpp.o.d"
+  "campus_webcast"
+  "campus_webcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_webcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

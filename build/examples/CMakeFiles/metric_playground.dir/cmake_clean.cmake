@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_playground.dir/metric_playground.cpp.o"
+  "CMakeFiles/metric_playground.dir/metric_playground.cpp.o.d"
+  "metric_playground"
+  "metric_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

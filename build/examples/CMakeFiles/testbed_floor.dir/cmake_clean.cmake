@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_floor.dir/testbed_floor.cpp.o"
+  "CMakeFiles/testbed_floor.dir/testbed_floor.cpp.o.d"
+  "testbed_floor"
+  "testbed_floor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_floor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

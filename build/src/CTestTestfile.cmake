@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("mesh/common")
+subdirs("mesh/sim")
+subdirs("mesh/phy")
+subdirs("mesh/mac")
+subdirs("mesh/net")
+subdirs("mesh/metrics")
+subdirs("mesh/odmrp")
+subdirs("mesh/maodv")
+subdirs("mesh/app")
+subdirs("mesh/testbed")
+subdirs("mesh/harness")

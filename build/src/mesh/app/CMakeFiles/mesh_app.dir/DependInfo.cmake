@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/app/cbr_source.cpp" "src/mesh/app/CMakeFiles/mesh_app.dir/cbr_source.cpp.o" "gcc" "src/mesh/app/CMakeFiles/mesh_app.dir/cbr_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_app.dir/cbr_source.cpp.o"
+  "CMakeFiles/mesh_app.dir/cbr_source.cpp.o.d"
+  "libmesh_app.a"
+  "libmesh_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

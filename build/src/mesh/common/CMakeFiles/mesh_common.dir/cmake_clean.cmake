@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_common.dir/log.cpp.o"
+  "CMakeFiles/mesh_common.dir/log.cpp.o.d"
+  "CMakeFiles/mesh_common.dir/simtime.cpp.o"
+  "CMakeFiles/mesh_common.dir/simtime.cpp.o.d"
+  "libmesh_common.a"
+  "libmesh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

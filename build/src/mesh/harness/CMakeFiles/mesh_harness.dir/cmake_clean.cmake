@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_harness.dir/config_file.cpp.o"
+  "CMakeFiles/mesh_harness.dir/config_file.cpp.o.d"
+  "CMakeFiles/mesh_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mesh_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/mesh_harness.dir/mesh_node.cpp.o"
+  "CMakeFiles/mesh_harness.dir/mesh_node.cpp.o.d"
+  "CMakeFiles/mesh_harness.dir/report.cpp.o"
+  "CMakeFiles/mesh_harness.dir/report.cpp.o.d"
+  "CMakeFiles/mesh_harness.dir/scenario.cpp.o"
+  "CMakeFiles/mesh_harness.dir/scenario.cpp.o.d"
+  "libmesh_harness.a"
+  "libmesh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

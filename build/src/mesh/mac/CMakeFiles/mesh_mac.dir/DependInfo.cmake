@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/mac/frames.cpp" "src/mesh/mac/CMakeFiles/mesh_mac.dir/frames.cpp.o" "gcc" "src/mesh/mac/CMakeFiles/mesh_mac.dir/frames.cpp.o.d"
+  "/root/repo/src/mesh/mac/mac80211.cpp" "src/mesh/mac/CMakeFiles/mesh_mac.dir/mac80211.cpp.o" "gcc" "src/mesh/mac/CMakeFiles/mesh_mac.dir/mac80211.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/phy/CMakeFiles/mesh_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

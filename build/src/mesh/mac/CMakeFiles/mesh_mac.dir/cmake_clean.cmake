@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_mac.dir/frames.cpp.o"
+  "CMakeFiles/mesh_mac.dir/frames.cpp.o.d"
+  "CMakeFiles/mesh_mac.dir/mac80211.cpp.o"
+  "CMakeFiles/mesh_mac.dir/mac80211.cpp.o.d"
+  "libmesh_mac.a"
+  "libmesh_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmesh_mac.a"
+)

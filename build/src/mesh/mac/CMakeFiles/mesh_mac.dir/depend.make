@@ -1,0 +1,2 @@
+# Empty dependencies file for mesh_mac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/maodv/tree_multicast.cpp" "src/mesh/maodv/CMakeFiles/mesh_maodv.dir/tree_multicast.cpp.o" "gcc" "src/mesh/maodv/CMakeFiles/mesh_maodv.dir/tree_multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/metrics/CMakeFiles/mesh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/odmrp/CMakeFiles/mesh_odmrp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

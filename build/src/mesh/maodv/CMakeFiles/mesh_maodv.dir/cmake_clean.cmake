@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_maodv.dir/tree_multicast.cpp.o"
+  "CMakeFiles/mesh_maodv.dir/tree_multicast.cpp.o.d"
+  "libmesh_maodv.a"
+  "libmesh_maodv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_maodv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/metrics/metric.cpp" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/metric.cpp.o" "gcc" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/metric.cpp.o.d"
+  "/root/repo/src/mesh/metrics/neighbor_table.cpp" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/neighbor_table.cpp.o" "gcc" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/mesh/metrics/probe_messages.cpp" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/probe_messages.cpp.o" "gcc" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/probe_messages.cpp.o.d"
+  "/root/repo/src/mesh/metrics/probe_service.cpp" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/probe_service.cpp.o" "gcc" "src/mesh/metrics/CMakeFiles/mesh_metrics.dir/probe_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

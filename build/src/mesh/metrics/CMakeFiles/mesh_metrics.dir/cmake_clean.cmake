@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_metrics.dir/metric.cpp.o"
+  "CMakeFiles/mesh_metrics.dir/metric.cpp.o.d"
+  "CMakeFiles/mesh_metrics.dir/neighbor_table.cpp.o"
+  "CMakeFiles/mesh_metrics.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/mesh_metrics.dir/probe_messages.cpp.o"
+  "CMakeFiles/mesh_metrics.dir/probe_messages.cpp.o.d"
+  "CMakeFiles/mesh_metrics.dir/probe_service.cpp.o"
+  "CMakeFiles/mesh_metrics.dir/probe_service.cpp.o.d"
+  "libmesh_metrics.a"
+  "libmesh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_net.dir/net.cpp.o"
+  "CMakeFiles/mesh_net.dir/net.cpp.o.d"
+  "libmesh_net.a"
+  "libmesh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_odmrp.dir/messages.cpp.o"
+  "CMakeFiles/mesh_odmrp.dir/messages.cpp.o.d"
+  "CMakeFiles/mesh_odmrp.dir/odmrp.cpp.o"
+  "CMakeFiles/mesh_odmrp.dir/odmrp.cpp.o.d"
+  "libmesh_odmrp.a"
+  "libmesh_odmrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_odmrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

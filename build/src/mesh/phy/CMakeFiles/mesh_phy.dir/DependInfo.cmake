@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/phy/channel.cpp" "src/mesh/phy/CMakeFiles/mesh_phy.dir/channel.cpp.o" "gcc" "src/mesh/phy/CMakeFiles/mesh_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/mesh/phy/mobility.cpp" "src/mesh/phy/CMakeFiles/mesh_phy.dir/mobility.cpp.o" "gcc" "src/mesh/phy/CMakeFiles/mesh_phy.dir/mobility.cpp.o.d"
+  "/root/repo/src/mesh/phy/propagation.cpp" "src/mesh/phy/CMakeFiles/mesh_phy.dir/propagation.cpp.o" "gcc" "src/mesh/phy/CMakeFiles/mesh_phy.dir/propagation.cpp.o.d"
+  "/root/repo/src/mesh/phy/radio.cpp" "src/mesh/phy/CMakeFiles/mesh_phy.dir/radio.cpp.o" "gcc" "src/mesh/phy/CMakeFiles/mesh_phy.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_phy.dir/channel.cpp.o"
+  "CMakeFiles/mesh_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/mesh_phy.dir/mobility.cpp.o"
+  "CMakeFiles/mesh_phy.dir/mobility.cpp.o.d"
+  "CMakeFiles/mesh_phy.dir/propagation.cpp.o"
+  "CMakeFiles/mesh_phy.dir/propagation.cpp.o.d"
+  "CMakeFiles/mesh_phy.dir/radio.cpp.o"
+  "CMakeFiles/mesh_phy.dir/radio.cpp.o.d"
+  "libmesh_phy.a"
+  "libmesh_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

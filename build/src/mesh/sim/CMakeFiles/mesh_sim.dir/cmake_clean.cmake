@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_sim.dir/sim.cpp.o"
+  "CMakeFiles/mesh_sim.dir/sim.cpp.o.d"
+  "libmesh_sim.a"
+  "libmesh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

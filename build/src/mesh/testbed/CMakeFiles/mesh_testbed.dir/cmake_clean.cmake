@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_testbed.dir/floorplan.cpp.o"
+  "CMakeFiles/mesh_testbed.dir/floorplan.cpp.o.d"
+  "CMakeFiles/mesh_testbed.dir/loss_link_model.cpp.o"
+  "CMakeFiles/mesh_testbed.dir/loss_link_model.cpp.o.d"
+  "libmesh_testbed.a"
+  "libmesh_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app_harness_test.cpp" "tests/CMakeFiles/app_harness_test.dir/app_harness_test.cpp.o" "gcc" "tests/CMakeFiles/app_harness_test.dir/app_harness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/harness/CMakeFiles/mesh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/mac/CMakeFiles/mesh_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/maodv/CMakeFiles/mesh_maodv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/odmrp/CMakeFiles/mesh_odmrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/metrics/CMakeFiles/mesh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/app/CMakeFiles/mesh_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/testbed/CMakeFiles/mesh_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/phy/CMakeFiles/mesh_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/sim/CMakeFiles/mesh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/net/CMakeFiles/mesh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/common/CMakeFiles/mesh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_harness_test.dir/app_harness_test.cpp.o"
+  "CMakeFiles/app_harness_test.dir/app_harness_test.cpp.o.d"
+  "app_harness_test"
+  "app_harness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_test.dir/mobility_test.cpp.o"
+  "CMakeFiles/mobility_test.dir/mobility_test.cpp.o.d"
+  "mobility_test"
+  "mobility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

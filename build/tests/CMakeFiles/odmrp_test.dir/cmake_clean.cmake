@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odmrp_test.dir/odmrp_test.cpp.o"
+  "CMakeFiles/odmrp_test.dir/odmrp_test.cpp.o.d"
+  "odmrp_test"
+  "odmrp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odmrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

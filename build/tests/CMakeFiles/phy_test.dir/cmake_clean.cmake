@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_test.dir/phy_test.cpp.o"
+  "CMakeFiles/phy_test.dir/phy_test.cpp.o.d"
+  "phy_test"
+  "phy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

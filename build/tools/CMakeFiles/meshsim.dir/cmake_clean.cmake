@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshsim.dir/meshsim.cpp.o"
+  "CMakeFiles/meshsim.dir/meshsim.cpp.o.d"
+  "meshsim"
+  "meshsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
