@@ -7,7 +7,10 @@
 // MESH_BENCH_TOPOLOGIES / MESH_BENCH_DURATION_S overrides. The testbed
 // benches always run at full scale (8 nodes is cheap).
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "mesh/harness/experiment.hpp"
 #include "mesh/harness/report.hpp"
@@ -18,6 +21,32 @@ namespace mesh::bench {
 
 inline constexpr std::size_t kQuickTopologies = 3;
 inline constexpr std::int64_t kQuickDurationS = 150;
+
+// Environment defaults (MESH_BENCH_*) plus the runner flags every bench
+// accepts: --jobs N (0 = all hardware threads) and --jsonl FILE (one
+// structured record per run). Unrecognized arguments are left for the
+// bench's own flag handling.
+inline harness::BenchOptions benchOptions(int argc, char** argv,
+                                          std::size_t defaultTopologies,
+                                          std::int64_t defaultDurationS) {
+  harness::BenchOptions options =
+      harness::BenchOptions::fromEnvironment(defaultTopologies, defaultDurationS);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      errno = 0;
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (errno != 0 || end == argv[i] || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "--jobs needs a non-negative integer (0 = auto)\n");
+        std::exit(2);
+      }
+      options.jobs = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      options.jsonlPath = argv[++i];
+    }
+  }
+  return options;
+}
 
 // The Section 4.1 scenario: 50 nodes, 1000 m², Rayleigh, 2 groups × 10
 // members, 1 source each (unless overridden), CBR 512 B × 20 pkt/s.

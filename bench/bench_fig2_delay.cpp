@@ -9,12 +9,12 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mesh;
   using namespace mesh::bench;
 
   const harness::BenchOptions options =
-      harness::BenchOptions::fromEnvironment(kQuickTopologies, kQuickDurationS);
+      benchOptions(argc, argv, kQuickTopologies, kQuickDurationS);
 
   const auto rows = harness::runProtocolComparison(
       harness::figure2Protocols(),

@@ -12,14 +12,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mesh;
   using namespace mesh::bench;
 
   // Full scale by default: 8-node runs are cheap.
   harness::BenchOptions options =
-      harness::BenchOptions::fromEnvironment(/*topologies=*/5,
-                                             /*durationS=*/400);
+      benchOptions(argc, argv, /*defaultTopologies=*/5, /*defaultDurationS=*/400);
 
   const auto rows = harness::runProtocolComparison(
       harness::figure2Protocols(),

@@ -10,7 +10,8 @@
 // Flags: --no-fading runs the ablation with Rayleigh disabled (link
 // quality becomes binary-by-distance; the metrics' advantage collapses,
 // demonstrating that fading-induced lossy long links are what the metrics
-// exploit — Section 4.2.1's explanation).
+// exploit — Section 4.2.1's explanation). --jobs/--jsonl as in
+// bench_common.hpp.
 
 #include <cstring>
 
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
   }
 
   const harness::BenchOptions options =
-      harness::BenchOptions::fromEnvironment(kQuickTopologies, kQuickDurationS);
+      benchOptions(argc, argv, kQuickTopologies, kQuickDurationS);
 
   const auto rows = harness::runProtocolComparison(
       harness::figure2Protocols(),

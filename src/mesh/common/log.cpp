@@ -1,15 +1,27 @@
 #include "mesh/common/log.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 namespace mesh::log {
 namespace {
 
-Level g_level = Level::Warn;
-std::function<SimTime()> g_timeSource;
+std::atomic<Level> g_level{Level::Warn};
+
+// Thread-local: each worker thread of a parallel sweep runs its own
+// Simulator, and every Simulator installs itself as the time source.
+// Thread-locality keeps concurrent simulations from clobbering each
+// other's clocks (and keeps installation race-free).
+thread_local std::function<SimTime()> g_timeSource;
+
+// Serializes sink writes so worker log lines never interleave mid-line.
+std::mutex g_sinkMutex;
 
 const char* levelName(Level level) {
   switch (level) {
@@ -25,34 +37,47 @@ const char* levelName(Level level) {
 
 }  // namespace
 
-void setLevel(Level level) { g_level = level; }
-Level level() { return g_level; }
+void setLevel(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void initFromEnvironment() {
   const char* env = std::getenv("MESH_LOG");
   if (env == nullptr) return;
-  if (std::strcmp(env, "trace") == 0) g_level = Level::Trace;
-  else if (std::strcmp(env, "debug") == 0) g_level = Level::Debug;
-  else if (std::strcmp(env, "info") == 0) g_level = Level::Info;
-  else if (std::strcmp(env, "warn") == 0) g_level = Level::Warn;
-  else if (std::strcmp(env, "error") == 0) g_level = Level::Error;
-  else if (std::strcmp(env, "off") == 0) g_level = Level::Off;
+  if (std::strcmp(env, "trace") == 0) setLevel(Level::Trace);
+  else if (std::strcmp(env, "debug") == 0) setLevel(Level::Debug);
+  else if (std::strcmp(env, "info") == 0) setLevel(Level::Info);
+  else if (std::strcmp(env, "warn") == 0) setLevel(Level::Warn);
+  else if (std::strcmp(env, "error") == 0) setLevel(Level::Error);
+  else if (std::strcmp(env, "off") == 0) setLevel(Level::Off);
 }
 
 void setTimeSource(std::function<SimTime()> source) { g_timeSource = std::move(source); }
 void clearTimeSource() { g_timeSource = nullptr; }
 
-bool enabled(Level lvl) { return static_cast<int>(lvl) >= static_cast<int>(g_level); }
+bool enabled(Level lvl) {
+  return static_cast<int>(lvl) >=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
+}
 
 void vwrite(Level lvl, const char* component, const char* fmt, std::va_list args) {
   char msg[1024];
   std::vsnprintf(msg, sizeof msg, fmt, args);
+  // Compose the full line first, then emit it with one buffered write
+  // under the sink mutex: concurrent workers stay line-atomic.
+  char line[1200];
+  int len;
   if (g_timeSource) {
-    std::fprintf(stderr, "[%s] %s %-10s %s\n", g_timeSource().str().c_str(),
-                 levelName(lvl), component, msg);
+    len = std::snprintf(line, sizeof line, "[%s] %s %-10s %s\n",
+                        g_timeSource().str().c_str(), levelName(lvl),
+                        component, msg);
   } else {
-    std::fprintf(stderr, "%s %-10s %s\n", levelName(lvl), component, msg);
+    len = std::snprintf(line, sizeof line, "%s %-10s %s\n", levelName(lvl),
+                        component, msg);
   }
+  if (len < 0) return;
+  const auto count = std::min(static_cast<std::size_t>(len), sizeof line - 1);
+  std::lock_guard<std::mutex> lock{g_sinkMutex};
+  std::fwrite(line, 1, count, stderr);
 }
 
 void write(Level lvl, const char* component, const char* fmt, ...) {

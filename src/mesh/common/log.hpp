@@ -5,6 +5,11 @@
 // source has been registered (the Simulator registers itself). Logging is
 // off by default (Warn level) so experiment runs stay quiet; tests and the
 // examples raise the level explicitly or via MESH_LOG=debug|trace.
+//
+// Thread safety: the level is atomic, the time source is thread-local
+// (each parallel-sweep worker runs its own Simulator, which installs its
+// own clock), and sink writes are line-buffered and serialized by a mutex
+// so interleaved worker logs stay readable.
 
 #include <cstdarg>
 #include <functional>
@@ -22,6 +27,8 @@ Level level();
 void initFromEnvironment();
 
 // The simulator installs a time source so every line carries sim time.
+// The source is per-thread: it only affects log calls made on the
+// installing thread.
 void setTimeSource(std::function<SimTime()> source);
 void clearTimeSource();
 

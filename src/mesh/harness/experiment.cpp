@@ -1,9 +1,25 @@
 #include "mesh/harness/experiment.hpp"
 
-#include <cstdio>
+#include <cerrno>
 #include <cstdlib>
 
 namespace mesh::harness {
+namespace {
+
+// Strict positive-integer parse for environment knobs: rejects garbage,
+// trailing characters, and out-of-range values instead of silently
+// reading 0.
+bool parsePositive(const char* text, long& out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v <= 0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::fromEnvironment(std::size_t defaultTopologies,
                                            std::int64_t defaultDurationS) {
@@ -18,62 +34,22 @@ BenchOptions BenchOptions::fromEnvironment(std::size_t defaultTopologies,
     options.topologies = 10;
     options.duration = SimTime::seconds(std::int64_t{400});
   } else {
-    if (const char* t = std::getenv("MESH_BENCH_TOPOLOGIES")) {
-      const long v = std::strtol(t, nullptr, 10);
-      if (v > 0) options.topologies = static_cast<std::size_t>(v);
+    long v = 0;
+    if (parsePositive(std::getenv("MESH_BENCH_TOPOLOGIES"), v)) {
+      options.topologies = static_cast<std::size_t>(v);
     }
-    if (const char* d = std::getenv("MESH_BENCH_DURATION_S")) {
-      const long v = std::strtol(d, nullptr, 10);
-      if (v > 0) options.duration = SimTime::seconds(std::int64_t{v});
+    if (parsePositive(std::getenv("MESH_BENCH_DURATION_S"), v)) {
+      options.duration = SimTime::seconds(std::int64_t{v});
     }
+  }
+  long jobs = 0;
+  if (parsePositive(std::getenv("MESH_BENCH_JOBS"), jobs)) {
+    options.jobs = static_cast<std::size_t>(jobs);
+  }
+  if (const char* jsonl = std::getenv("MESH_BENCH_JSONL")) {
+    if (jsonl[0] != '\0') options.jsonlPath = jsonl;
   }
   return options;
-}
-
-std::vector<ComparisonRow> runProtocolComparison(
-    const std::vector<ProtocolSpec>& protocols,
-    const std::function<ScenarioConfig(std::uint64_t topologySeed)>& makeScenario,
-    const BenchOptions& options) {
-  std::vector<ComparisonRow> rows;
-  rows.reserve(protocols.size());
-  for (const ProtocolSpec& protocol : protocols) {
-    ComparisonRow row;
-    row.protocol = protocol;
-    row.name = protocol.name();
-    rows.push_back(std::move(row));
-  }
-
-  for (std::size_t t = 0; t < options.topologies; ++t) {
-    const std::uint64_t seed = options.baseSeed + t;
-    for (std::size_t p = 0; p < protocols.size(); ++p) {
-      ScenarioConfig config = makeScenario(seed);
-      config.protocol = protocols[p];
-      config.seed = seed;
-      if (options.duration > SimTime::zero()) {
-        config.duration = options.duration;
-        if (config.traffic.stop > config.duration) {
-          config.traffic.stop = config.duration;
-        }
-      }
-      if (options.verbose) {
-        std::fprintf(stderr, "[bench] topology %zu/%zu  protocol %-6s ...",
-                     t + 1, options.topologies, rows[p].name.c_str());
-        std::fflush(stderr);
-      }
-      Simulation sim{std::move(config)};
-      const RunResults r = sim.run();
-      if (options.verbose) {
-        std::fprintf(stderr, " pdr=%.4f delay=%.4fs overhead=%.2f%%\n", r.pdr,
-                     r.meanDelayS, r.probeOverheadPct);
-      }
-      rows[p].pdr.add(r.pdr);
-      rows[p].throughputBps.add(r.throughputBps);
-      rows[p].delayS.add(r.meanDelayS);
-      rows[p].overheadPct.add(r.probeOverheadPct);
-      rows[p].controlBytes.add(static_cast<double>(r.controlBytesReceived));
-    }
-  }
-  return rows;
 }
 
 std::vector<ProtocolSpec> figure2Protocols(double probeRateScale) {

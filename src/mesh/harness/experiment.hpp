@@ -8,8 +8,16 @@
 //
 //   MESH_BENCH_TOPOLOGIES  (default: experiment-specific, paper uses 10)
 //   MESH_BENCH_DURATION_S  (default: experiment-specific, paper uses 400)
+//   MESH_BENCH_JOBS        (default: hardware_concurrency; 1 = serial)
+//   MESH_BENCH_JSONL       (path: write one JSONL record per run)
 //
 // Set MESH_BENCH_FULL=1 to force the paper-scale defaults.
+//
+// The comparison sweep executes on the mesh::runner thread pool — one job
+// per (topology seed, protocol) cell — with deterministic aggregation:
+// results are bit-identical to the serial path for any job count.
+// runProtocolComparison() is implemented in src/mesh/runner/sweep.cpp
+// (link mesh::mesh or mesh::runner).
 
 #include <functional>
 #include <string>
@@ -25,6 +33,14 @@ struct BenchOptions {
   SimTime duration{SimTime::seconds(std::int64_t{400})};
   std::uint64_t baseSeed{1000};
   bool verbose{true};  // progress lines on stderr
+
+  // Worker threads for the sweep: 0 = one per hardware thread,
+  // 1 = legacy serial path (run on the calling thread, no pool).
+  std::size_t jobs{0};
+
+  // When non-empty, every completed run appends one JSON record (seed,
+  // protocol, pdr, throughput, delay, overhead, wall time, ...) here.
+  std::string jsonlPath;
 
   // Applies MESH_BENCH_* environment overrides on top of the given
   // defaults (which should be the paper-scale values).
@@ -48,6 +64,11 @@ struct ComparisonRow {
 // scenario (groups, traffic, duration); the runner fills in the protocol.
 // All protocols see identical topology seeds — paired comparison, like
 // the paper's normalization.
+//
+// The factory is always invoked on the calling thread, in (topology,
+// protocol) order, before any simulation starts; only the simulations
+// themselves run on pool workers. A run that throws is reported on stderr
+// and excluded from the aggregates instead of aborting the sweep.
 std::vector<ComparisonRow> runProtocolComparison(
     const std::vector<ProtocolSpec>& protocols,
     const std::function<ScenarioConfig(std::uint64_t topologySeed)>& makeScenario,

@@ -1,0 +1,85 @@
+#include "mesh/runner/aggregator.hpp"
+
+#include <utility>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::runner {
+
+Aggregator::Aggregator(std::vector<harness::ProtocolSpec> protocols,
+                       std::size_t topologies)
+    : protocols_{std::move(protocols)},
+      topologies_{topologies},
+      grid_{topologies_ * protocols_.size()} {
+  MESH_REQUIRE(!protocols_.empty());
+}
+
+void Aggregator::deliver(RunRecord record) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  MESH_REQUIRE(record.topologyIndex < topologies_);
+  MESH_REQUIRE(record.protocolIndex < protocols_.size());
+  std::optional<RunRecord>& cell =
+      grid_[slot(record.topologyIndex, record.protocolIndex)];
+  MESH_REQUIRE(!cell.has_value());  // exactly-once delivery
+  if (!record.ok) ++failed_;
+  ++delivered_;
+  cell = std::move(record);
+}
+
+std::size_t Aggregator::deliveredCount() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return delivered_;
+}
+
+std::size_t Aggregator::failureCount() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return failed_;
+}
+
+std::vector<RunRecord> Aggregator::records() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<RunRecord> out;
+  out.reserve(delivered_);
+  for (const auto& cell : grid_) {
+    if (cell.has_value()) out.push_back(*cell);
+  }
+  return out;
+}
+
+std::vector<RunRecord> Aggregator::failures() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<RunRecord> out;
+  for (const auto& cell : grid_) {
+    if (cell.has_value() && !cell->ok) out.push_back(*cell);
+  }
+  return out;
+}
+
+std::vector<harness::ComparisonRow> Aggregator::rows() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<harness::ComparisonRow> rows;
+  rows.reserve(protocols_.size());
+  for (const harness::ProtocolSpec& protocol : protocols_) {
+    harness::ComparisonRow row;
+    row.protocol = protocol;
+    row.name = protocol.name();
+    rows.push_back(std::move(row));
+  }
+  // Topology-major, protocol-minor: the same OnlineStats::add sequence the
+  // serial loop performs, so the fold is bit-identical to it.
+  for (std::size_t t = 0; t < topologies_; ++t) {
+    for (std::size_t p = 0; p < protocols_.size(); ++p) {
+      const std::optional<RunRecord>& cell = grid_[slot(t, p)];
+      if (!cell.has_value() || !cell->ok) continue;
+      const harness::RunResults& r = cell->results;
+      rows[p].pdr.add(r.pdr);
+      rows[p].throughputBps.add(r.throughputBps);
+      rows[p].delayS.add(r.meanDelayS);
+      rows[p].overheadPct.add(r.probeOverheadPct);
+      rows[p].controlBytes.add(static_cast<double>(r.controlBytesReceived));
+    }
+  }
+  return rows;
+}
+
+}  // namespace mesh::runner

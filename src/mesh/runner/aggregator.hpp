@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic fold of parallel run results.
+//
+// Workers complete runs in whatever order the scheduler produces; the
+// Aggregator parks each RunRecord in its (topology, protocol) grid slot
+// and only folds them into ComparisonRows — in the exact (topology-major,
+// protocol-minor) order of the legacy serial loop — when asked for rows().
+// Because OnlineStats::add is applied in an identical sequence, the
+// aggregate means/CIs are bit-identical to a serial sweep, regardless of
+// completion order.
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mesh/harness/experiment.hpp"
+#include "mesh/runner/run_plan.hpp"
+
+namespace mesh::runner {
+
+class Aggregator {
+ public:
+  Aggregator(std::vector<harness::ProtocolSpec> protocols,
+             std::size_t topologies);
+
+  // Thread-safe; each (topology, protocol) slot must be delivered at most
+  // once. Failed runs (record.ok == false) are stored too — they surface
+  // in records()/failures() but contribute nothing to rows().
+  void deliver(RunRecord record);
+
+  std::size_t deliveredCount() const;
+  std::size_t failureCount() const;
+
+  // All delivered records in (topology, protocol) order.
+  std::vector<RunRecord> records() const;
+
+  // Failed records only, in (topology, protocol) order.
+  std::vector<RunRecord> failures() const;
+
+  // The deterministic fold. Call after all runs were delivered.
+  std::vector<harness::ComparisonRow> rows() const;
+
+ private:
+  std::size_t slot(std::size_t topology, std::size_t protocol) const {
+    return topology * protocols_.size() + protocol;
+  }
+
+  std::vector<harness::ProtocolSpec> protocols_;
+  std::size_t topologies_;
+  mutable std::mutex mutex_;
+  std::vector<std::optional<RunRecord>> grid_;
+  std::size_t delivered_{0};
+  std::size_t failed_{0};
+};
+
+}  // namespace mesh::runner

@@ -1,0 +1,101 @@
+#include "mesh/runner/result_sink.hpp"
+
+#include <cinttypes>
+#include <stdexcept>
+
+namespace mesh::runner {
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendField(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, value);
+  out += buf;
+}
+
+void appendField(std::string& out, const char* key, std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, key, value);
+  out += buf;
+}
+
+}  // namespace
+
+JsonlResultSink::JsonlResultSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open JSONL result file: " + path);
+  }
+}
+
+JsonlResultSink::~JsonlResultSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string JsonlResultSink::toJson(const RunRecord& record) {
+  std::string line;
+  line.reserve(320);
+  line += '{';
+  appendField(line, "topology", static_cast<std::uint64_t>(record.topologyIndex));
+  line += ',';
+  appendField(line, "protocol_index",
+              static_cast<std::uint64_t>(record.protocolIndex));
+  line += ",\"protocol\":\"";
+  appendEscaped(line, record.protocolName);
+  line += "\",";
+  appendField(line, "seed", record.seed);
+  line += record.ok ? ",\"ok\":true," : ",\"ok\":false,";
+  appendField(line, "pdr", record.results.pdr);
+  line += ',';
+  appendField(line, "throughput_bps", record.results.throughputBps);
+  line += ',';
+  appendField(line, "delay_s", record.results.meanDelayS);
+  line += ',';
+  appendField(line, "overhead_pct", record.results.probeOverheadPct);
+  line += ',';
+  appendField(line, "packets_sent", record.results.packetsSent);
+  line += ',';
+  appendField(line, "packets_delivered", record.results.packetsDelivered);
+  line += ',';
+  appendField(line, "control_bytes", record.results.controlBytesReceived);
+  line += ',';
+  appendField(line, "events", record.eventsExecuted);
+  line += ',';
+  appendField(line, "wall_s", record.wallSeconds);
+  if (!record.error.empty()) {
+    line += ",\"error\":\"";
+    appendEscaped(line, record.error);
+    line += '"';
+  }
+  line += '}';
+  return line;
+}
+
+void JsonlResultSink::write(const RunRecord& record) {
+  const std::string line = toJson(record) + "\n";
+  std::lock_guard<std::mutex> lock{mutex_};
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);  // trajectory files are tailed while sweeps run
+}
+
+}  // namespace mesh::runner

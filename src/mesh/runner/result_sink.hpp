@@ -1,0 +1,47 @@
+#pragma once
+// Structured result sinks for the experiment runner.
+//
+// A ResultSink receives one RunRecord per completed simulation run. Sinks
+// must be thread-safe: under a parallel sweep, workers call write() from
+// many threads as runs finish (so a sink file records completion order —
+// every record carries its topology/protocol indices for re-sorting).
+//
+// JsonlResultSink emits one self-contained JSON object per line — the
+// bench "trajectory" format: cheap to append, trivially greppable, and
+// streamable into pandas/jq while a long sweep is still running.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "mesh/runner/run_plan.hpp"
+
+namespace mesh::runner {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  // Must be safe to call concurrently from worker threads.
+  virtual void write(const RunRecord& record) = 0;
+};
+
+class JsonlResultSink final : public ResultSink {
+ public:
+  // Truncates `path`. Throws std::runtime_error when the file can't open.
+  explicit JsonlResultSink(const std::string& path);
+  ~JsonlResultSink() override;
+
+  JsonlResultSink(const JsonlResultSink&) = delete;
+  JsonlResultSink& operator=(const JsonlResultSink&) = delete;
+
+  void write(const RunRecord& record) override;
+
+  // The one-line JSON encoding of a record (no trailing newline).
+  static std::string toJson(const RunRecord& record);
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_{nullptr};
+};
+
+}  // namespace mesh::runner

@@ -1,0 +1,42 @@
+#pragma once
+// Job descriptions for the parallel experiment runner.
+//
+// A RunPlan is one fully-specified simulation run — one (topology seed,
+// protocol) cell of a comparison sweep — built eagerly on the submitting
+// thread so scenario factories never execute concurrently. A RunRecord is
+// the outcome: the simulation's aggregate results plus per-run telemetry
+// (wall clock, event count) and, when the run threw, the captured error.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mesh/harness/scenario.hpp"
+
+namespace mesh::runner {
+
+struct RunPlan {
+  std::size_t topologyIndex{0};
+  std::size_t protocolIndex{0};
+  std::uint64_t seed{0};
+  std::string protocolName;
+  harness::ScenarioConfig config;  // protocol/seed/duration already applied
+};
+
+struct RunRecord {
+  std::size_t topologyIndex{0};
+  std::size_t protocolIndex{0};
+  std::uint64_t seed{0};
+  std::string protocolName;
+
+  bool ok{false};
+  std::string error;  // what() of the escaped exception when !ok
+
+  harness::RunResults results;  // zeroed when !ok
+
+  // Telemetry.
+  double wallSeconds{0.0};
+  std::uint64_t eventsExecuted{0};
+};
+
+}  // namespace mesh::runner

@@ -1,0 +1,188 @@
+#include "mesh/runner/sweep.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "mesh/runner/aggregator.hpp"
+#include "mesh/runner/thread_pool.hpp"
+
+namespace mesh::runner {
+namespace {
+
+double elapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+// Serialized progress output: worker completion lines must not interleave
+// mid-line.
+class ProgressPrinter {
+ public:
+  ProgressPrinter(bool enabled, std::size_t total)
+      : enabled_{enabled}, total_{total} {}
+
+  void completed(const RunRecord& record) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock{mutex_};
+    ++done_;
+    if (record.ok) {
+      std::fprintf(stderr,
+                   "[bench] %3zu/%zu  topology %zu  protocol %-6s "
+                   "pdr=%.4f delay=%.4fs overhead=%.2f%%  (%.1fs wall)\n",
+                   done_, total_, record.topologyIndex + 1,
+                   record.protocolName.c_str(), record.results.pdr,
+                   record.results.meanDelayS, record.results.probeOverheadPct,
+                   record.wallSeconds);
+    } else {
+      std::fprintf(stderr,
+                   "[bench] %3zu/%zu  topology %zu  protocol %-6s "
+                   "FAILED: %s\n",
+                   done_, total_, record.topologyIndex + 1,
+                   record.protocolName.c_str(), record.error.c_str());
+    }
+    std::fflush(stderr);
+  }
+
+ private:
+  bool enabled_;
+  std::size_t total_;
+  std::mutex mutex_;
+  std::size_t done_{0};
+};
+
+}  // namespace
+
+std::vector<RunPlan> buildComparisonPlans(
+    const std::vector<harness::ProtocolSpec>& protocols,
+    const std::function<harness::ScenarioConfig(std::uint64_t topologySeed)>&
+        makeScenario,
+    const harness::BenchOptions& options) {
+  std::vector<RunPlan> plans;
+  plans.reserve(options.topologies * protocols.size());
+  for (std::size_t t = 0; t < options.topologies; ++t) {
+    const std::uint64_t seed = options.baseSeed + t;
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      RunPlan plan;
+      plan.topologyIndex = t;
+      plan.protocolIndex = p;
+      plan.seed = seed;
+      plan.protocolName = protocols[p].name();
+      plan.config = makeScenario(seed);
+      plan.config.protocol = protocols[p];
+      plan.config.seed = seed;
+      if (options.duration > SimTime::zero()) {
+        plan.config.duration = options.duration;
+        if (plan.config.traffic.stop > plan.config.duration) {
+          plan.config.traffic.stop = plan.config.duration;
+        }
+      }
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+RunRecord executePlan(const RunPlan& plan) {
+  RunRecord record;
+  record.topologyIndex = plan.topologyIndex;
+  record.protocolIndex = plan.protocolIndex;
+  record.seed = plan.seed;
+  record.protocolName = plan.protocolName;
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    harness::Simulation sim{plan.config};
+    record.results = sim.run();
+    record.eventsExecuted = record.results.eventsExecuted;
+    record.ok = true;
+  } catch (const std::exception& e) {
+    record.error = e.what();
+  } catch (...) {
+    record.error = "unknown exception";
+  }
+  record.wallSeconds = elapsedSeconds(start);
+  return record;
+}
+
+SweepReport runComparisonSweep(
+    const std::vector<harness::ProtocolSpec>& protocols,
+    const std::function<harness::ScenarioConfig(std::uint64_t topologySeed)>&
+        makeScenario,
+    const harness::BenchOptions& options, ResultSink* sink) {
+  const auto sweepStart = std::chrono::steady_clock::now();
+  const std::vector<RunPlan> plans =
+      buildComparisonPlans(protocols, makeScenario, options);
+
+  const std::size_t jobs =
+      options.jobs == 0 ? ThreadPool::defaultWorkerCount() : options.jobs;
+
+  Aggregator aggregator{protocols, options.topologies};
+  ProgressPrinter progress{options.verbose, plans.size()};
+
+  const auto finishRun = [&](RunRecord record) {
+    progress.completed(record);
+    if (sink != nullptr) sink->write(record);
+    aggregator.deliver(std::move(record));
+  };
+
+  if (jobs <= 1) {
+    // Legacy serial path: everything on the calling thread, in plan order.
+    for (const RunPlan& plan : plans) finishRun(executePlan(plan));
+  } else {
+    ThreadPool pool{jobs};
+    for (const RunPlan& plan : plans) {
+      pool.submit([&plan, &finishRun] { finishRun(executePlan(plan)); });
+    }
+    pool.wait();
+  }
+
+  SweepReport report;
+  report.rows = aggregator.rows();
+  report.records = aggregator.records();
+  report.failures = aggregator.failureCount();
+  report.wallSeconds = elapsedSeconds(sweepStart);
+  report.jobs = jobs;
+  return report;
+}
+
+}  // namespace mesh::runner
+
+namespace mesh::harness {
+
+// Declared in mesh/harness/experiment.hpp; lives here so the harness
+// library stays below the runner in the dependency order (runner links
+// harness, never the reverse). Any binary linking mesh::mesh gets it.
+std::vector<ComparisonRow> runProtocolComparison(
+    const std::vector<ProtocolSpec>& protocols,
+    const std::function<ScenarioConfig(std::uint64_t topologySeed)>&
+        makeScenario,
+    const BenchOptions& options) {
+  std::unique_ptr<runner::JsonlResultSink> sink;
+  if (!options.jsonlPath.empty()) {
+    sink = std::make_unique<runner::JsonlResultSink>(options.jsonlPath);
+  }
+  runner::SweepReport report =
+      runner::runComparisonSweep(protocols, makeScenario, options, sink.get());
+  if (options.verbose && report.jobs > 1) {
+    std::fprintf(stderr, "[bench] sweep: %zu runs on %zu workers in %.1fs\n",
+                 report.records.size(), report.jobs, report.wallSeconds);
+  }
+  // Surface failed runs even when not verbose: a diverging simulation must
+  // fail loudly in the report, not vanish from the averages silently.
+  for (const runner::RunRecord& record : report.records) {
+    if (record.ok) continue;
+    std::fprintf(stderr,
+                 "[bench] run FAILED  topology %zu  protocol %s  seed %llu: %s\n",
+                 record.topologyIndex + 1, record.protocolName.c_str(),
+                 static_cast<unsigned long long>(record.seed),
+                 record.error.c_str());
+  }
+  return std::move(report.rows);
+}
+
+}  // namespace mesh::harness

@@ -1,0 +1,58 @@
+#pragma once
+// Parallel comparison sweeps: shard (topology seed, protocol) simulation
+// runs across a work-stealing thread pool while keeping the aggregate
+// ComparisonRows bit-identical to the serial path.
+//
+// Determinism by construction: every Simulation owns an Rng forked from
+// its run seed, so a run's RunResults depend only on its RunPlan, never on
+// scheduling. The runner's only obligations are (a) building plans — and
+// hence calling the user's scenario factory — serially on the submitting
+// thread, (b) folding results in the serial loop's (topology, protocol)
+// order via the Aggregator, and (c) serializing progress/log output.
+//
+// Per-run exceptions are captured into the RunRecord: one diverging
+// simulation marks its cell failed and the sweep report says so, instead
+// of the whole sweep aborting.
+
+#include <functional>
+#include <vector>
+
+#include "mesh/harness/experiment.hpp"
+#include "mesh/runner/run_plan.hpp"
+#include "mesh/runner/result_sink.hpp"
+
+namespace mesh::runner {
+
+struct SweepReport {
+  // Deterministic aggregates, one row per protocol (failed runs excluded).
+  std::vector<harness::ComparisonRow> rows;
+  // Every run's record in (topology, protocol) order.
+  std::vector<RunRecord> records;
+  std::size_t failures{0};
+  double wallSeconds{0.0};   // whole-sweep wall clock
+  std::size_t jobs{1};       // worker count actually used
+};
+
+// Expands the sweep matrix into per-run plans, invoking `makeScenario`
+// serially in (topology, protocol) order — exactly like the legacy loop —
+// so stateful factories stay deterministic and need not be thread-safe.
+std::vector<RunPlan> buildComparisonPlans(
+    const std::vector<harness::ProtocolSpec>& protocols,
+    const std::function<harness::ScenarioConfig(std::uint64_t topologySeed)>&
+        makeScenario,
+    const harness::BenchOptions& options);
+
+// Executes one plan on the current thread, capturing results, telemetry,
+// and any escaped exception.
+RunRecord executePlan(const RunPlan& plan);
+
+// The full sweep: plan, shard across `options.jobs` workers (0 = one per
+// hardware thread, 1 = serial on the calling thread), stream each
+// completed run into `sink` (optional), and fold deterministically.
+SweepReport runComparisonSweep(
+    const std::vector<harness::ProtocolSpec>& protocols,
+    const std::function<harness::ScenarioConfig(std::uint64_t topologySeed)>&
+        makeScenario,
+    const harness::BenchOptions& options, ResultSink* sink = nullptr);
+
+}  // namespace mesh::runner

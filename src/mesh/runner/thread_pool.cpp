@@ -1,0 +1,112 @@
+#include "mesh/runner/thread_pool.hpp"
+
+#include <utility>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::runner {
+
+std::size_t ThreadPool::defaultWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = defaultWorkerCount();
+  deques_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{stateMutex_};
+    stopping_ = true;
+  }
+  workReady_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  MESH_ASSERT(pending_ == 0);
+}
+
+void ThreadPool::submit(Job job) {
+  MESH_REQUIRE(job != nullptr);
+  const std::size_t target =
+      static_cast<std::size_t>(nextDeque_.fetch_add(1)) % deques_.size();
+  {
+    // pending_ must rise before the job becomes stealable, or a fast
+    // worker could finish it and drive pending_ negative; pushing under
+    // stateMutex_ also closes the lost-wakeup window against a worker
+    // that just found every deque empty and is about to sleep.
+    std::lock_guard<std::mutex> state{stateMutex_};
+    ++pending_;
+    std::lock_guard<std::mutex> dq{deques_[target]->mutex};
+    deques_[target]->jobs.push_front(std::move(job));
+  }
+  workReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock{stateMutex_};
+  allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::takeJob(std::size_t self, Job& out) {
+  {
+    WorkDeque& own = *deques_[self];
+    std::lock_guard<std::mutex> lock{own.mutex};
+    if (!own.jobs.empty()) {
+      out = std::move(own.jobs.front());
+      own.jobs.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    WorkDeque& victim = *deques_[(self + k) % deques_.size()];
+    std::lock_guard<std::mutex> lock{victim.mutex};
+    if (!victim.jobs.empty()) {
+      out = std::move(victim.jobs.back());
+      victim.jobs.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::anyQueuedLocked() {
+  for (const auto& deque : deques_) {
+    std::lock_guard<std::mutex> lock{deque->mutex};
+    if (!deque->jobs.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  for (;;) {
+    Job job;
+    if (takeJob(self, job)) {
+      try {
+        job();
+      } catch (...) {
+        thrown_.fetch_add(1);
+      }
+      executed_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock{stateMutex_};
+        MESH_ASSERT(pending_ > 0);
+        --pending_;
+        if (pending_ == 0) allDone_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock{stateMutex_};
+    workReady_.wait(lock, [this] { return stopping_ || anyQueuedLocked(); });
+    if (stopping_ && !anyQueuedLocked()) return;
+  }
+}
+
+}  // namespace mesh::runner

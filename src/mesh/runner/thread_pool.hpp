@@ -1,0 +1,82 @@
+#pragma once
+// Work-stealing thread pool for the experiment runner.
+//
+// Fixed worker count. Each worker owns a deque: the owner pushes and pops
+// at the front (LIFO keeps caches warm for fine jobs), and idle workers
+// steal from the back of a victim's deque — the classic work-stealing
+// arrangement. The deques are guarded by small per-deque mutexes: runner
+// jobs are whole simulations that execute for seconds, so queue operations
+// are noise and a lock-free Chase–Lev deque would buy nothing.
+//
+// Jobs are fire-and-forget std::function<void()>. A job that throws is
+// caught and counted (`jobsThrown()`) — one bad job must never take down
+// the pool or deadlock `wait()`. Callers that need the exception payload
+// catch inside the job body (the sweep runner records it per run).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mesh::runner {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  // workers == 0 selects one worker per hardware thread (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  // Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a job (round-robin across the worker deques).
+  void submit(Job job);
+
+  // Block until every job submitted so far has finished executing.
+  void wait();
+
+  std::size_t workerCount() const { return workers_.size(); }
+  std::uint64_t jobsExecuted() const { return executed_.load(); }
+  std::uint64_t jobsThrown() const { return thrown_.load(); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static std::size_t defaultWorkerCount();
+
+ private:
+  struct WorkDeque {
+    std::mutex mutex;
+    std::deque<Job> jobs;
+  };
+
+  // Pops the next job: own deque front first, then steal from the back of
+  // the other deques. Returns false when every deque is empty.
+  bool takeJob(std::size_t self, Job& out);
+  bool anyQueuedLocked();  // requires stateMutex_ held
+  void workerLoop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  std::vector<std::thread> workers_;
+
+  // stateMutex_ orders submissions against sleeping workers; lock order is
+  // always stateMutex_ before a deque mutex, never the reverse.
+  std::mutex stateMutex_;
+  std::condition_variable workReady_;
+  std::condition_variable allDone_;
+  std::size_t pending_{0};  // submitted but not yet finished
+  bool stopping_{false};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> thrown_{0};
+  std::atomic<std::uint64_t> nextDeque_{0};
+};
+
+}  // namespace mesh::runner
