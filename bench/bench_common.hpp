@@ -23,9 +23,10 @@ inline constexpr std::size_t kQuickTopologies = 3;
 inline constexpr std::int64_t kQuickDurationS = 150;
 
 // Environment defaults (MESH_BENCH_*) plus the runner flags every bench
-// accepts: --jobs N (0 = all hardware threads) and --jsonl FILE (one
-// structured record per run). Unrecognized arguments are left for the
-// bench's own flag handling.
+// accepts: --jobs N (0 = all hardware threads), --jsonl FILE (one
+// structured record per run), and --trace DIR (one packet-lifecycle trace
+// per run, for `meshtrace verify`). Unrecognized arguments are left for
+// the bench's own flag handling.
 inline harness::BenchOptions benchOptions(int argc, char** argv,
                                           std::size_t defaultTopologies,
                                           std::int64_t defaultDurationS) {
@@ -43,6 +44,8 @@ inline harness::BenchOptions benchOptions(int argc, char** argv,
       options.jobs = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
       options.jsonlPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.traceDir = argv[++i];
     }
   }
   return options;

@@ -49,6 +49,9 @@ BenchOptions BenchOptions::fromEnvironment(std::size_t defaultTopologies,
   if (const char* jsonl = std::getenv("MESH_BENCH_JSONL")) {
     if (jsonl[0] != '\0') options.jsonlPath = jsonl;
   }
+  if (const char* trace = std::getenv("MESH_BENCH_TRACE")) {
+    if (trace[0] != '\0') options.traceDir = trace;
+  }
   return options;
 }
 

@@ -10,6 +10,7 @@
 //   MESH_BENCH_DURATION_S  (default: experiment-specific, paper uses 400)
 //   MESH_BENCH_JOBS        (default: hardware_concurrency; 1 = serial)
 //   MESH_BENCH_JSONL       (path: write one JSONL record per run)
+//   MESH_BENCH_TRACE       (dir: write one packet-lifecycle trace per run)
 //
 // Set MESH_BENCH_FULL=1 to force the paper-scale defaults.
 //
@@ -41,6 +42,12 @@ struct BenchOptions {
   // When non-empty, every completed run appends one JSON record (seed,
   // protocol, pdr, throughput, delay, overhead, wall time, ...) here.
   std::string jsonlPath;
+
+  // When non-empty, every run writes a packet-lifecycle trace into this
+  // directory (created on demand). File names are derived from the run's
+  // (topology, protocol, seed) cell, so parallel sweeps never collide and
+  // re-running the same sweep overwrites deterministically.
+  std::string traceDir;
 
   // Applies MESH_BENCH_* environment overrides on top of the given
   // defaults (which should be the paper-scale values).

@@ -27,6 +27,8 @@
 #include "mesh/phy/channel.hpp"
 #include "mesh/phy/radio.hpp"
 #include "mesh/sim/simulator.hpp"
+#include "mesh/trace/counter_registry.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::harness {
 
@@ -53,10 +55,12 @@ struct MeshNodeConfig {
 class MeshNode {
  public:
   // `metric` is shared by all nodes of a scenario (or nullptr for the
-  // original ODMRP). The channel must outlive the node.
+  // original ODMRP). The channel must outlive the node. `trace` (optional)
+  // receives packet-lifecycle records from every layer of this node; it is
+  // cached as a raw pointer in each layer, so it must outlive the node too.
   MeshNode(sim::Simulator& simulator, phy::Channel& channel, net::NodeId id,
            const MeshNodeConfig& config, const metrics::Metric* metric,
-           Rng rng);
+           Rng rng, trace::TraceCollector* trace = nullptr);
 
   MeshNode(const MeshNode&) = delete;
   MeshNode& operator=(const MeshNode&) = delete;
@@ -83,11 +87,17 @@ class MeshNode {
   const NodeByteCounters& byteCounters() const { return bytes_; }
   const metrics::Metric* metric() const { return metric_; }
 
+  // Publishes every layer's counters into the shared per-run taxonomy
+  // (phy.* / mac.* / route.* / probe.* / app.*). The registry sums slots
+  // across all nodes that register under the same name.
+  void registerCounters(trace::CounterRegistry& registry) const;
+
  private:
   void dispatch(const net::PacketPtr& packet, net::NodeId from);
 
   sim::Simulator& simulator_;
   const metrics::Metric* metric_;
+  trace::TraceCollector* trace_;
   phy::Radio radio_;
   mac::Mac80211 mac_;
   metrics::NeighborTable table_;

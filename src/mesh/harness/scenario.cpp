@@ -1,7 +1,9 @@
 #include "mesh/harness/scenario.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
+#include <stdexcept>
 
 #include "mesh/common/assert.hpp"
 #include "mesh/phy/fading.hpp"
@@ -92,6 +94,11 @@ bool Simulation::diskGraphConnected(const std::vector<Vec2>& positions,
 void Simulation::build() {
   Rng rng{config_.seed};
 
+  if (!config_.tracePath.empty()) {
+    trace_ = std::make_unique<trace::TraceCollector>(config_.tracePath +
+                                                     ".spill");
+  }
+
   if (config_.protocol.metric) {
     metric_ = metrics::makeMetric(*config_.protocol.metric,
                                   config_.traffic.payloadBytes);
@@ -164,7 +171,8 @@ void Simulation::build() {
   for (std::size_t i = 0; i < config_.nodeCount; ++i) {
     nodes_.push_back(std::make_unique<MeshNode>(
         simulator_, *channel_, static_cast<net::NodeId>(i), nodeConfig,
-        metric_.get(), rng.fork("node", i)));
+        metric_.get(), rng.fork("node", i), trace_.get()));
+    nodes_.back()->registerCounters(registry_);
   }
 
   for (const GroupSpec& spec : config_.groups) {
@@ -207,15 +215,17 @@ RunResults Simulation::run() {
     }
   }
 
+  // Byte/frame totals come from the counter registry — the same slots every
+  // protocol variant registers under one taxonomy, so these aggregates and
+  // a `meshtrace` replay read identical numbers.
+  results.probeBytesReceived = registry_.value("app.rx_bytes.probe");
+  results.dataBytesReceived = registry_.value("app.rx_bytes.data");
+  results.controlBytesReceived = registry_.value("app.rx_bytes.control");
+  results.macBroadcastsSent = registry_.value("mac.broadcast_sent");
+  results.radioFramesCorrupted = registry_.value("phy.frames_corrupted");
+
   OnlineStats delay;
-  for (const auto& node : nodes_) {
-    results.probeBytesReceived += node->byteCounters().probeBytesReceived;
-    results.dataBytesReceived += node->byteCounters().dataBytesReceived;
-    results.controlBytesReceived += node->byteCounters().controlBytesReceived;
-    results.macBroadcastsSent += node->mac().stats().broadcastSent;
-    results.radioFramesCorrupted += node->radio().stats().framesCorrupted;
-    delay.merge(node->sink().delayStats());
-  }
+  for (const auto& node : nodes_) delay.merge(node->sink().delayStats());
 
   results.pdr = results.expectedDeliveries > 0
                     ? static_cast<double>(results.packetsDelivered) /
@@ -237,6 +247,19 @@ RunResults Simulation::run() {
           ? 100.0 * static_cast<double>(results.probeBytesReceived) /
                 static_cast<double>(results.dataBytesReceived)
           : 0.0;
+
+  if (trace_ != nullptr) {
+    char meta[256];
+    std::snprintf(meta, sizeof(meta),
+                  "{\"seed\":%llu,\"protocol\":\"%s\",\"nodes\":%zu,"
+                  "\"active_s\":%.17g}",
+                  static_cast<unsigned long long>(config_.seed),
+                  config_.protocol.name().c_str(), nodes_.size(), activeS);
+    if (!trace_->exportJsonl(config_.tracePath, meta, registry_.snapshot())) {
+      throw std::runtime_error("trace export failed: cannot write " +
+                               config_.tracePath);
+    }
+  }
   return results;
 }
 

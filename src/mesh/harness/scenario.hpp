@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mesh/common/rng.hpp"
@@ -90,6 +91,11 @@ struct ScenarioConfig {
   SimTime duration{SimTime::seconds(std::int64_t{400})};
   std::uint64_t seed{1};
 
+  // Empty = tracing disabled (hook sites cost one pointer test). Non-empty:
+  // every packet-lifecycle event is recorded and exported to this JSONL
+  // path when run() finishes; parent directories are created on demand.
+  std::string tracePath;
+
   MeshNodeConfig node;  // phy / mac / odmrp parameter blocks
 
   // Optional: replace geometric placement entirely (testbed emulation).
@@ -140,6 +146,10 @@ class Simulation {
 
   sim::Simulator& simulator() { return simulator_; }
   phy::Channel& channel() { return *channel_; }
+  // Per-run counter taxonomy, summed across nodes (always populated).
+  const trace::CounterRegistry& counters() const { return registry_; }
+  // Non-null only when config.tracePath was set.
+  const trace::TraceCollector* trace() const { return trace_.get(); }
   MeshNode& node(net::NodeId id) { return *nodes_.at(id); }
   std::size_t nodeCount() const { return nodes_.size(); }
   const std::vector<Vec2>& positions() const { return positions_; }
@@ -157,6 +167,8 @@ class Simulation {
 
   ScenarioConfig config_;
   sim::Simulator simulator_;
+  trace::CounterRegistry registry_;
+  std::unique_ptr<trace::TraceCollector> trace_;  // null unless tracePath set
   std::unique_ptr<metrics::Metric> metric_;  // null for original ODMRP
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<MeshNode>> nodes_;

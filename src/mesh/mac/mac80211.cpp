@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mesh/common/log.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::mac {
 
@@ -69,6 +70,16 @@ void Mac80211::send(net::PacketPtr payload, net::NodeId dst) {
   MESH_REQUIRE(payload != nullptr);
   if (queue_.size() >= params_.queueLimit) {
     ++stats_.queueDrops;
+    switch (payload->kind()) {
+      case net::PacketKind::Data: ++stats_.queueDropsData; break;
+      case net::PacketKind::Probe: ++stats_.queueDropsProbe; break;
+      default: ++stats_.queueDropsControl; break;
+    }
+    if (trace_ != nullptr) {
+      trace_->drop(simulator_.now(), nodeId(), payload.get(), payload->kind(),
+                   static_cast<std::uint32_t>(payload->sizeBytes()),
+                   trace::DropReason::MacQueueTail);
+    }
     return;
   }
   TxJob job;
@@ -79,6 +90,9 @@ void Mac80211::send(net::PacketPtr payload, net::NodeId dst) {
                 job.payload->sizeBytes() > params_.rtsThresholdBytes;
   queue_.push_back(std::move(job));
   ++stats_.enqueued;
+  if (trace_ != nullptr) {
+    trace_->enqueue(simulator_.now(), nodeId(), *queue_.back().payload);
+  }
   startJobIfIdle();
 }
 
@@ -247,6 +261,13 @@ void Mac80211::retryFailure(bool rtsStage) {
                                                   : params_.shortRetryLimit);
   if (current_->retries > limit) {
     ++stats_.retryDrops;
+    if (trace_ != nullptr) {
+      trace_->drop(simulator_.now(), nodeId(), current_->payload.get(),
+                   current_->payload->kind(),
+                   static_cast<std::uint32_t>(current_->payload->sizeBytes()),
+                   rtsStage ? trace::DropReason::MacCtsTimeout
+                            : trace::DropReason::MacRetryExhausted);
+    }
     if (txStatusCallback_) {
       txStatusCallback_(current_->payload, current_->dst, false);
     }

@@ -34,11 +34,21 @@
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
 
+namespace mesh::trace {
+class TraceCollector;
+}
+
 namespace mesh::mac {
 
 struct MacStats {
   std::uint64_t enqueued{0};
-  std::uint64_t queueDrops{0};
+  std::uint64_t queueDrops{0};        // transmit-queue tail drops, total
+  // Tail drops broken out by what was lost (mac_params.hpp: a payload
+  // arriving to a full queue "is dropped at the tail"). Data losses here
+  // are invisible to the PHY loss counters, so they get their own reason.
+  std::uint64_t queueDropsData{0};
+  std::uint64_t queueDropsProbe{0};
+  std::uint64_t queueDropsControl{0};
   std::uint64_t broadcastSent{0};
   std::uint64_t unicastSent{0};       // DATA transmissions incl. retries
   std::uint64_t rtsSent{0};
@@ -75,6 +85,10 @@ class Mac80211 {
 
   void setReceiveCallback(RxCallback cb) { rxCallback_ = std::move(cb); }
   void setTxStatusCallback(TxStatusCallback cb) { txStatusCallback_ = std::move(cb); }
+
+  // Observability: Enqueue plus Drop{queue-tail, retry-exhausted,
+  // CTS-timeout} records. Null (the default) disables the hooks.
+  void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
 
   // Queue a payload for transmission. dst == net::kBroadcastNode selects
   // the broadcast service.
@@ -136,6 +150,7 @@ class Mac80211 {
 
   RxCallback rxCallback_;
   TxStatusCallback txStatusCallback_;
+  trace::TraceCollector* trace_{nullptr};
 
   std::deque<TxJob> queue_;
   std::optional<TxJob> current_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "mesh/common/assert.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::maodv {
 
@@ -25,6 +26,19 @@ TreeMulticast::TreeMulticast(sim::Simulator& simulator, net::NodeId self,
       rng_{rng} {
   MESH_REQUIRE(send_ != nullptr);
   if (metric_ != nullptr) MESH_REQUIRE(neighbors_ != nullptr);
+}
+
+void TreeMulticast::joinGroup(net::GroupId group) {
+  members_.insert(group);
+  if (trace_ != nullptr) {
+    trace_->memberJoin(simulator_.now(), self_, group);
+  }
+}
+
+void TreeMulticast::traceDrop(const net::PacketPtr& packet,
+                              trace::DropReason reason) {
+  trace_->drop(simulator_.now(), self_, packet.get(), packet->kind(),
+               static_cast<std::uint32_t>(packet->sizeBytes()), reason);
 }
 
 void TreeMulticast::startSource(net::GroupId group) {
@@ -67,10 +81,15 @@ void TreeMulticast::originateQuery(net::GroupId group) {
   send_(std::move(packet));
 }
 
-void TreeMulticast::handleQuery(const JoinQuery& query, net::NodeId from) {
+void TreeMulticast::handleQuery(const JoinQuery& query,
+                                const net::PacketPtr& packet,
+                                net::NodeId from) {
   if (query.source == self_) return;
   if (query.hopCount >= params_.maxHops) {
     ++stats_.queriesDropped;
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteTtlExpired);
+    }
     return;
   }
 
@@ -83,6 +102,9 @@ void TreeMulticast::handleQuery(const JoinQuery& query, net::NodeId from) {
   RoundState& rs = rounds_[key(query.group, query.source)];
   if (rs.valid && query.seq < rs.seq) {
     ++stats_.queriesDropped;
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteStaleRound);
+    }
     return;
   }
   const bool newRound = !rs.valid || query.seq > rs.seq;
@@ -121,9 +143,17 @@ void TreeMulticast::handleQuery(const JoinQuery& query, net::NodeId from) {
       forwardQuery(query, cost, /*duplicate=*/true);
     } else {
       ++stats_.queriesDropped;
+      if (trace_ != nullptr) {
+        traceDrop(packet, trace::DropReason::RouteAlphaExpired);
+      }
     }
   } else {
     ++stats_.queriesDropped;
+    if (trace_ != nullptr) {
+      traceDrop(packet, metric_ != nullptr
+                            ? trace::DropReason::RouteWorseCost
+                            : trace::DropReason::RouteDupSuppress);
+    }
   }
 }
 
@@ -146,7 +176,13 @@ void TreeMulticast::forwardQuery(const JoinQuery& received, double newCost,
 void TreeMulticast::sendMemberReply(net::GroupId group, net::NodeId source) {
   RoundState& rs = rounds_[key(group, source)];
   MESH_ASSERT(rs.valid);
-  if (rs.upstream == net::kInvalidNode) return;
+  if (rs.upstream == net::kInvalidNode) {
+    if (trace_ != nullptr) {
+      trace_->drop(simulator_.now(), self_, nullptr, net::PacketKind::Control,
+                   0, trace::DropReason::RouteNoRoute);
+    }
+    return;
+  }
   rs.memberReplySent = true;
 
   JoinReply reply;
@@ -222,6 +258,9 @@ void TreeMulticast::sendData(net::GroupId group, std::vector<std::uint8_t> paylo
                                   header.serializeWith(payload), simulator_.now());
   ++stats_.dataOriginated;
   stats_.dataBytesSent += packet->sizeBytes();
+  if (trace_ != nullptr) {
+    trace_->packetBirth(simulator_.now(), self_, *packet, group);
+  }
   send_(packet);
 }
 
@@ -233,6 +272,9 @@ void TreeMulticast::handleData(const net::PacketPtr& packet, net::NodeId from) {
 
   if (!dataDupCache_.checkAndInsert(header->group, header->source, header->seq)) {
     ++stats_.dataDuplicates;
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteDupSuppress);
+    }
     return;
   }
   ++dataEdges_[net::LinkKey{from, self_}];
@@ -248,6 +290,9 @@ void TreeMulticast::handleData(const net::PacketPtr& packet, net::NodeId from) {
   if (isTreeForwarder(header->group, header->source)) {
     ++stats_.dataForwarded;
     stats_.dataBytesSent += packet->sizeBytes();
+    if (trace_ != nullptr) {
+      trace_->forward(simulator_.now(), self_, *packet);
+    }
     if (params_.dataJitterMax.isZero()) {
       send_(packet);
     } else {
@@ -263,7 +308,7 @@ void TreeMulticast::onPacket(const net::PacketPtr& packet, net::NodeId from) {
   switch (*type) {
     case MessageType::JoinQuery: {
       const auto query = JoinQuery::parse(packet->bytes());
-      if (query) handleQuery(*query, from);
+      if (query) handleQuery(*query, packet, from);
       break;
     }
     case MessageType::JoinReply: {

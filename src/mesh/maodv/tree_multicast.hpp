@@ -35,6 +35,11 @@
 #include "mesh/odmrp/messages.hpp"
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
+#include "mesh/trace/trace_event.hpp"
+
+namespace mesh::trace {
+class TraceCollector;
+}
 
 namespace mesh::maodv {
 
@@ -61,7 +66,7 @@ class TreeMulticast final : public net::MulticastProtocol {
 
   net::NodeId nodeId() const override { return self_; }
 
-  void joinGroup(net::GroupId group) override { members_.insert(group); }
+  void joinGroup(net::GroupId group) override;
   void leaveGroup(net::GroupId group) override { members_.erase(group); }
   bool isMember(net::GroupId group) const override {
     return members_.contains(group);
@@ -74,6 +79,10 @@ class TreeMulticast final : public net::MulticastProtocol {
   void setDeliverCallback(DeliverFn cb) override { deliver_ = std::move(cb); }
 
   void onPacket(const net::PacketPtr& packet, net::NodeId from) override;
+
+  void setTrace(trace::TraceCollector* collector) override {
+    trace_ = collector;
+  }
 
   // True if on the tree of *any* source of the group right now.
   bool isForwarder(net::GroupId group) const override;
@@ -101,13 +110,15 @@ class TreeMulticast final : public net::MulticastProtocol {
   }
 
   void originateQuery(net::GroupId group);
-  void handleQuery(const odmrp::JoinQuery& query, net::NodeId from);
+  void handleQuery(const odmrp::JoinQuery& query, const net::PacketPtr& packet,
+                   net::NodeId from);
   void handleReply(const odmrp::JoinReply& reply, net::NodeId from);
   void handleData(const net::PacketPtr& packet, net::NodeId from);
   void forwardQuery(const odmrp::JoinQuery& received, double newCost,
                     bool duplicate);
   void sendMemberReply(net::GroupId group, net::NodeId source);
   void sendControl(net::PacketPtr packet, SimTime jitterMax);
+  void traceDrop(const net::PacketPtr& packet, trace::DropReason reason);
 
   sim::Simulator& simulator_;
   net::NodeId self_;
@@ -116,6 +127,7 @@ class TreeMulticast final : public net::MulticastProtocol {
   const metrics::NeighborTable* neighbors_;
   SendFn send_;
   DeliverFn deliver_;
+  trace::TraceCollector* trace_{nullptr};
   Rng rng_;
 
   std::unordered_set<net::GroupId> members_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mesh/common/assert.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::metrics {
 
@@ -84,6 +85,7 @@ void ProbeService::sendProbes() {
     auto packet = m.toPacket(now);
     stats_.probesSent += 1;
     stats_.probeBytesSent += packet->sizeBytes();
+    if (trace_ != nullptr) trace_->probeTx(now, self_, *packet);
     send_(std::move(packet));
   } else {
     // Packet pair: small immediately followed by large; both enter the
@@ -95,6 +97,10 @@ void ProbeService::sendProbes() {
     auto largePacket = large.toPacket(now);
     stats_.probesSent += 2;
     stats_.probeBytesSent += smallPacket->sizeBytes() + largePacket->sizeBytes();
+    if (trace_ != nullptr) {
+      trace_->probeTx(now, self_, *smallPacket);
+      trace_->probeTx(now, self_, *largePacket);
+    }
     send_(std::move(smallPacket));
     send_(std::move(largePacket));
   }

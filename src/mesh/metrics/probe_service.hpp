@@ -22,6 +22,10 @@
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
 
+namespace mesh::trace {
+class TraceCollector;
+}
+
 namespace mesh::metrics {
 
 struct ProbeServiceStats {
@@ -70,6 +74,9 @@ class ProbeService {
   SimTime effectiveInterval() const { return interval_.scaled(slowdown_); }
   double currentSlowdown() const { return slowdown_; }
 
+  // Observability: ProbeTx records for every probe handed to the MAC.
+  void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
+
  private:
   void sendProbes();
   void adjustSlowdown();
@@ -80,6 +87,7 @@ class ProbeService {
   SimTime interval_{SimTime::zero()};
   NeighborTable& table_;
   SendFn send_;
+  trace::TraceCollector* trace_{nullptr};
   Rng rng_;
   sim::PeriodicTimer timer_;
   std::uint32_t seq_{0};

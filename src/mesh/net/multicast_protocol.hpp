@@ -18,6 +18,10 @@
 #include "mesh/net/addr.hpp"
 #include "mesh/net/packet.hpp"
 
+namespace mesh::trace {
+class TraceCollector;
+}
+
 namespace mesh::net {
 
 // Counters shared by all protocol implementations.
@@ -61,6 +65,11 @@ class MulticastProtocol {
 
   // Called for every received packet of kinds Control and Data.
   virtual void onPacket(const PacketPtr& packet, NodeId from) = 0;
+
+  // Observability: attach a packet-lifecycle trace collector (null to
+  // detach). Protocols emit PktBirth / Forward / Drop{reason} / MemberJoin
+  // records through it; the default implementation ignores tracing.
+  virtual void setTrace(trace::TraceCollector* collector) { (void)collector; }
 
   // Introspection.
   virtual bool isForwarder(GroupId group) const = 0;

@@ -4,6 +4,7 @@
 
 #include "mesh/common/assert.hpp"
 #include "mesh/common/log.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::odmrp {
 
@@ -24,7 +25,17 @@ Odmrp::Odmrp(sim::Simulator& simulator, net::NodeId self, OdmrpParams params,
 
 // ------------------------------------------------------------------ roles
 
-void Odmrp::joinGroup(net::GroupId group) { members_.insert(group); }
+void Odmrp::joinGroup(net::GroupId group) {
+  members_.insert(group);
+  if (trace_ != nullptr) {
+    trace_->memberJoin(simulator_.now(), self_, group);
+  }
+}
+
+void Odmrp::traceDrop(const net::PacketPtr& packet, trace::DropReason reason) {
+  trace_->drop(simulator_.now(), self_, packet.get(), packet->kind(),
+               static_cast<std::uint32_t>(packet->sizeBytes()), reason);
+}
 
 void Odmrp::leaveGroup(net::GroupId group) { members_.erase(group); }
 
@@ -80,10 +91,14 @@ double Odmrp::chargeIncomingLink(const JoinQuery& query, net::NodeId from) const
   return metric_->accumulate(query.pathCost, metric_->linkCost(m));
 }
 
-void Odmrp::handleQuery(const JoinQuery& query, net::NodeId from) {
+void Odmrp::handleQuery(const JoinQuery& query, const net::PacketPtr& packet,
+                        net::NodeId from) {
   if (query.source == self_) return;  // our own flood echoed back
   if (query.hopCount >= params_.maxHops) {
     ++stats_.queriesDropped;
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteTtlExpired);
+    }
     return;
   }
 
@@ -92,6 +107,9 @@ void Odmrp::handleQuery(const JoinQuery& query, net::NodeId from) {
 
   if (rs.valid && query.seq < rs.seq) {
     ++stats_.queriesDropped;  // stale round
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteStaleRound);
+    }
     return;
   }
   const bool newRound = !rs.valid || query.seq > rs.seq;
@@ -136,9 +154,19 @@ void Odmrp::handleQuery(const JoinQuery& query, net::NodeId from) {
       forwardQuery(query, cost, /*duplicate=*/true);
     } else {
       ++stats_.queriesDropped;  // improving, but the α window has closed
+      if (trace_ != nullptr) {
+        traceDrop(packet, trace::DropReason::RouteAlphaExpired);
+      }
     }
   } else {
     ++stats_.queriesDropped;
+    if (trace_ != nullptr) {
+      // Metric runs suppress non-improving duplicates; the original
+      // protocol suppresses every duplicate (first query wins).
+      traceDrop(packet, metric_ != nullptr
+                            ? trace::DropReason::RouteWorseCost
+                            : trace::DropReason::RouteDupSuppress);
+    }
   }
 }
 
@@ -163,7 +191,15 @@ void Odmrp::forwardQuery(const JoinQuery& received, double newCost, bool duplica
 void Odmrp::sendMemberReply(net::GroupId group, net::NodeId source) {
   RoundState& rs = rounds_[key(group, source)];
   MESH_ASSERT(rs.valid);
-  if (rs.upstream == net::kInvalidNode) return;
+  if (rs.upstream == net::kInvalidNode) {
+    // A member heard the query round but has no upstream to answer
+    // through — no route back toward the source this round.
+    if (trace_ != nullptr) {
+      trace_->drop(simulator_.now(), self_, nullptr, net::PacketKind::Control,
+                   0, trace::DropReason::RouteNoRoute);
+    }
+    return;
+  }
   rs.memberReplySent = true;
 
   JoinReply reply;
@@ -237,6 +273,9 @@ void Odmrp::sendData(net::GroupId group, std::vector<std::uint8_t> payload) {
                                   simulator_.now());
   ++stats_.dataOriginated;
   stats_.dataBytesSent += packet->sizeBytes();
+  if (trace_ != nullptr) {
+    trace_->packetBirth(simulator_.now(), self_, *packet, group);
+  }
   send_(packet);
 }
 
@@ -248,6 +287,9 @@ void Odmrp::handleData(const net::PacketPtr& packet, net::NodeId from) {
 
   if (!dataDupCache_.checkAndInsert(header->group, header->source, header->seq)) {
     ++stats_.dataDuplicates;
+    if (trace_ != nullptr) {
+      traceDrop(packet, trace::DropReason::RouteDupSuppress);
+    }
     return;
   }
   ++dataEdges_[net::LinkKey{from, self_}];
@@ -262,6 +304,9 @@ void Odmrp::handleData(const net::PacketPtr& packet, net::NodeId from) {
   if (isForwarder(header->group)) {
     ++stats_.dataForwarded;
     stats_.dataBytesSent += packet->sizeBytes();
+    if (trace_ != nullptr) {
+      trace_->forward(simulator_.now(), self_, *packet);
+    }
     if (params_.dataJitterMax.isZero()) {
       send_(packet);
     } else {
@@ -280,7 +325,7 @@ void Odmrp::onPacket(const net::PacketPtr& packet, net::NodeId from) {
   switch (*type) {
     case MessageType::JoinQuery: {
       const auto query = JoinQuery::parse(packet->bytes());
-      if (query) handleQuery(*query, from);
+      if (query) handleQuery(*query, packet, from);
       break;
     }
     case MessageType::JoinReply: {

@@ -42,6 +42,11 @@
 #include "mesh/odmrp/messages.hpp"
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
+#include "mesh/trace/trace_event.hpp"
+
+namespace mesh::trace {
+class TraceCollector;
+}
 
 namespace mesh::odmrp {
 
@@ -97,6 +102,10 @@ class Odmrp final : public net::MulticastProtocol {
   // Feed every received ODMRP packet (kinds Control and Data).
   void onPacket(const net::PacketPtr& packet, net::NodeId from) override;
 
+  void setTrace(trace::TraceCollector* collector) override {
+    trace_ = collector;
+  }
+
   // --- introspection -----------------------------------------------------
   bool isForwarder(net::GroupId group) const override;
   const OdmrpStats& stats() const override { return stats_; }
@@ -124,9 +133,13 @@ class Odmrp final : public net::MulticastProtocol {
     return (static_cast<std::uint32_t>(group) << 16) | source;
   }
 
-  void handleQuery(const JoinQuery& query, net::NodeId from);
+  // `packet` is the received wire packet the query rode in — drop records
+  // need its identity and size.
+  void handleQuery(const JoinQuery& query, const net::PacketPtr& packet,
+                   net::NodeId from);
   void handleReply(const JoinReply& reply, net::NodeId from);
   void handleData(const net::PacketPtr& packet, net::NodeId from);
+  void traceDrop(const net::PacketPtr& packet, trace::DropReason reason);
 
   void originateQuery(net::GroupId group);
   void forwardQuery(const JoinQuery& received, double newCost, bool duplicate);
@@ -143,6 +156,7 @@ class Odmrp final : public net::MulticastProtocol {
   const metrics::NeighborTable* neighbors_;     // nullable
   SendFn send_;
   DeliverFn deliver_;
+  trace::TraceCollector* trace_{nullptr};
   Rng rng_;
 
   std::unordered_set<net::GroupId> members_;

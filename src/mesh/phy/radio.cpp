@@ -4,6 +4,7 @@
 
 #include "mesh/common/log.hpp"
 #include "mesh/phy/channel.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::phy {
 
@@ -29,6 +30,13 @@ double Radio::interferenceFor(std::uint64_t excludedKey) const {
   return sum;
 }
 
+void Radio::traceDrop(const PhyFramePtr& frame, trace::DropReason reason) {
+  trace_->drop(simulator_.now(), node_, frame->payload.get(),
+               frame->payload != nullptr ? frame->payload->kind()
+                                         : net::PacketKind::MacControl,
+               static_cast<std::uint32_t>(frame->sizeBytes()), reason);
+}
+
 void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
   MESH_REQUIRE(channel_ != nullptr);
   MESH_REQUIRE(!isTransmitting());
@@ -40,11 +48,24 @@ void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
     lockedActive_ = false;
     lockedCorrupted_ = false;
     ++stats_.framesMissedBusy;
+    if (trace_ != nullptr) {
+      const auto it = std::find_if(
+          arrivals_.begin(), arrivals_.end(),
+          [this](const Arrival& a) { return a.key == lockedKey_; });
+      if (it != arrivals_.end()) {
+        traceDrop(it->frame, trace::DropReason::PhyRadioBusy);
+      }
+    }
   }
   txUntil_ = simulator_.now() + airtime;
+  txFrame_ = frame;
   ++stats_.framesSent;
   stats_.bytesSent += frame->sizeBytes();
   stats_.airtimeTx += airtime;
+  if (trace_ != nullptr) {
+    trace_->txStart(simulator_.now(), node_, frame->payload.get(),
+                    static_cast<std::uint32_t>(frame->sizeBytes()));
+  }
   simulator_.schedule(airtime, [this] { endTransmit(); });
   channel_->transmit(*this, frame, airtime);
   notifyMediumIfChanged();
@@ -52,6 +73,11 @@ void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
 
 void Radio::endTransmit() {
   // txUntil_ reached; medium may have gone idle.
+  if (trace_ != nullptr && txFrame_ != nullptr && !isTransmitting()) {
+    trace_->txEnd(simulator_.now(), node_, txFrame_->payload.get(),
+                  static_cast<std::uint32_t>(txFrame_->sizeBytes()));
+  }
+  if (!isTransmitting()) txFrame_ = nullptr;
   notifyMediumIfChanged();
 }
 
@@ -72,9 +98,13 @@ void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
   } else if (decodable) {
     // Strong enough to decode, but the radio is occupied.
     ++stats_.framesMissedBusy;
+    if (trace_ != nullptr) traceDrop(frame, trace::DropReason::PhyRadioBusy);
     if (lockedActive_) reevaluateLockedSinr();
   } else {
     ++stats_.framesBelowThreshold;
+    if (trace_ != nullptr) {
+      traceDrop(frame, trace::DropReason::PhyBelowSensitivity);
+    }
     if (lockedActive_) reevaluateLockedSinr();
   }
   notifyMediumIfChanged();
@@ -91,6 +121,9 @@ void Radio::endArrival(std::uint64_t key) {
     lockedActive_ = false;
     if (lockedCorrupted_) {
       ++stats_.framesCorrupted;
+      if (trace_ != nullptr) {
+        traceDrop(arrival.frame, trace::DropReason::PhyCollision);
+      }
     } else {
       ++stats_.framesDelivered;
       stats_.bytesDelivered += arrival.frame->sizeBytes();

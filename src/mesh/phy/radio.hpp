@@ -28,6 +28,11 @@
 #include "mesh/phy/frame.hpp"
 #include "mesh/phy/phy_params.hpp"
 #include "mesh/sim/simulator.hpp"
+#include "mesh/trace/trace_event.hpp"
+
+namespace mesh::trace {
+class TraceCollector;
+}
 
 namespace mesh::phy {
 
@@ -82,6 +87,11 @@ class Radio {
 
   const RadioStats& stats() const { return stats_; }
 
+  // Observability: TxStart/TxEnd plus Drop{collision, below-sensitivity,
+  // radio-busy} records. Null (the default) disables the hooks; each hook
+  // site is a single test of this cached pointer.
+  void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
+
   // Cumulative time the medium has read busy at this radio (tx, rx-locked,
   // or energy above carrier sense). Drives the adaptive probing controller.
   SimTime busyTime() const {
@@ -110,6 +120,7 @@ class Radio {
 
   void endArrival(std::uint64_t key);
   void endTransmit();
+  void traceDrop(const PhyFramePtr& frame, trace::DropReason reason);
 
   double interferenceFor(std::uint64_t excludedKey) const;
   double totalInbandPowerW() const;
@@ -132,6 +143,9 @@ class Radio {
   bool lockedCorrupted_{false};
 
   SimTime txUntil_{SimTime::zero()};
+  PhyFramePtr txFrame_;  // in-flight own frame, for the TxEnd record
+
+  trace::TraceCollector* trace_{nullptr};
 
   bool lastReportedBusy_{false};
   SimTime busySince_{SimTime::zero()};

@@ -1,6 +1,7 @@
 #include "mesh/runner/result_sink.hpp"
 
 #include <cinttypes>
+#include <filesystem>
 #include <stdexcept>
 
 namespace mesh::runner {
@@ -42,6 +43,15 @@ void appendField(std::string& out, const char* key, std::uint64_t value) {
 }  // namespace
 
 JsonlResultSink::JsonlResultSink(const std::string& path) {
+  // Create missing parent directories up front: "--jsonl out/x.jsonl" with
+  // no out/ used to die on fopen with a bare errno. Creation failures fall
+  // through to the fopen error below, which names the path.
+  const std::filesystem::path parent =
+      std::filesystem::path{path}.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     throw std::runtime_error("cannot open JSONL result file: " + path);
@@ -82,6 +92,11 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
   appendField(line, "events", record.eventsExecuted);
   line += ',';
   appendField(line, "wall_s", record.wallSeconds);
+  if (!record.tracePath.empty()) {
+    line += ",\"trace\":\"";
+    appendEscaped(line, record.tracePath);
+    line += '"';
+  }
   if (!record.error.empty()) {
     line += ",\"error\":\"";
     appendEscaped(line, record.error);

@@ -32,6 +32,11 @@ struct RunRecord {
   bool ok{false};
   std::string error;  // what() of the escaped exception when !ok
 
+  // Path of the packet-lifecycle trace this run exported (empty when
+  // tracing was off). Echoed into the JSONL record so `meshtrace verify`
+  // can join each result row to its trace.
+  std::string tracePath;
+
   harness::RunResults results;  // zeroed when !ok
 
   // Telemetry.

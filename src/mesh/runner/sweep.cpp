@@ -55,6 +55,30 @@ class ProgressPrinter {
   std::size_t done_{0};
 };
 
+// Protocol names ("ODMRP_ETX", "T-PP", "ODMRP_ETT*") become filename-safe
+// tokens: alphanumerics pass through, everything else maps to '_'.
+std::string sanitizeName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9');
+    out += alnum ? c : '_';
+  }
+  return out;
+}
+
+// Deterministic per-run trace file name: the (topology, protocol, seed)
+// cell fully identifies a run, so any job count produces the same file
+// set and reruns overwrite rather than accumulate.
+std::string traceFileName(const RunPlan& plan) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t%zu_p%zu_", plan.topologyIndex,
+                plan.protocolIndex);
+  return std::string{buf} + sanitizeName(plan.protocolName) + "_s" +
+         std::to_string(plan.seed) + ".trace.jsonl";
+}
+
 }  // namespace
 
 std::vector<RunPlan> buildComparisonPlans(
@@ -81,6 +105,9 @@ std::vector<RunPlan> buildComparisonPlans(
           plan.config.traffic.stop = plan.config.duration;
         }
       }
+      if (!options.traceDir.empty()) {
+        plan.config.tracePath = options.traceDir + "/" + traceFileName(plan);
+      }
       plans.push_back(std::move(plan));
     }
   }
@@ -93,6 +120,7 @@ RunRecord executePlan(const RunPlan& plan) {
   record.protocolIndex = plan.protocolIndex;
   record.seed = plan.seed;
   record.protocolName = plan.protocolName;
+  record.tracePath = plan.config.tracePath;
 
   const auto start = std::chrono::steady_clock::now();
   try {

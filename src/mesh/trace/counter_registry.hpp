@@ -1,0 +1,57 @@
+#pragma once
+// CounterRegistry: one taxonomy of named monotonic counters per run.
+//
+// The simulator's stats live where they are cheap to update — plain
+// uint64 fields inside RadioStats / MacStats / ProtocolStats — so the hot
+// paths keep their single unconditional increment. The registry is the
+// *read* side: each component registers `("mac.queue_tail_drops.data",
+// &stats_.queueDropsData)` once at build time, and a snapshot sums every
+// slot registered under a name (fifty radios all publish
+// "phy.frames_corrupted"). That gives every protocol and layer one shared
+// naming scheme for export and cross-checking without a second write path.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mesh::trace {
+
+class CounterRegistry {
+ public:
+  // Registers a live counter slot. The pointee must outlive the registry
+  // (slots live in component stats structs owned by the same Simulation).
+  void add(std::string name, const std::uint64_t* slot) {
+    slots_[std::move(name)].push_back(slot);
+  }
+
+  // Sum of every slot registered under `name`; 0 for unknown names.
+  std::uint64_t value(std::string_view name) const {
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return 0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t* slot : it->second) total += *slot;
+    return total;
+  }
+
+  std::size_t nameCount() const { return slots_.size(); }
+
+  // Name-sorted totals (std::map keeps the order deterministic).
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(slots_.size());
+    for (const auto& [name, slots] : slots_) {
+      std::uint64_t total = 0;
+      for (const std::uint64_t* slot : slots) total += *slot;
+      out.emplace_back(name, total);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<const std::uint64_t*>, std::less<>> slots_;
+};
+
+}  // namespace mesh::trace

@@ -1,0 +1,225 @@
+#include "mesh/trace/replay.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <unordered_map>
+
+#include "mesh/common/stats.hpp"
+
+namespace mesh::trace {
+namespace {
+
+std::uint32_t packKey(net::GroupId group, net::NodeId origin) {
+  return (static_cast<std::uint32_t>(group) << 16) | origin;
+}
+
+}  // namespace
+
+TraceSummary summarizeTrace(const ParsedTrace& trace) {
+  TraceSummary summary;
+
+  std::map<net::GroupId, std::set<net::NodeId>> members;
+  std::unordered_map<std::uint32_t, std::uint64_t> birthsPerFlow;
+  std::unordered_map<std::uint32_t, std::int64_t> birthTimeNs;  // by pid
+  // Per-node delay accumulators, merged in ascending node order below —
+  // the exact shape of Simulation::run()'s per-sink merge.
+  std::map<net::NodeId, OnlineStats> delayPerNode;
+  std::uint64_t payloadBytesDelivered = 0;
+
+  for (const ParsedRecord& record : trace.records) {
+    switch (record.type) {
+      case EventType::MemberJoin:
+        members[record.group].insert(record.node);
+        break;
+      case EventType::PktBirth:
+        ++summary.packetsSent;
+        ++birthsPerFlow[packKey(record.group, record.origin)];
+        birthTimeNs.emplace(record.pid, record.timeNs);
+        break;
+      case EventType::Deliver: {
+        ++summary.packetsDelivered;
+        payloadBytesDelivered += record.bytes;
+        const auto born = birthTimeNs.find(record.pid);
+        if (born == birthTimeNs.end()) {
+          ++summary.deliversWithoutBirth;
+        } else {
+          delayPerNode[record.node].add(
+              static_cast<double>(record.timeNs - born->second) * 1e-9);
+        }
+        break;
+      }
+      case EventType::RxOk:
+        if (record.kind == net::PacketKind::Data) {
+          summary.dataBytesReceived += record.bytes;
+        } else if (record.kind == net::PacketKind::Control) {
+          summary.controlBytesReceived += record.bytes;
+        }
+        break;
+      case EventType::ProbeRx:
+        summary.probeBytesReceived += record.bytes;
+        break;
+      case EventType::Drop:
+        ++summary.dropCount;
+        ++summary.dropsByReason[toString(record.reason)];
+        if (record.reason == DropReason::Unknown) ++summary.unknownReasonDrops;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [flow, births] : birthsPerFlow) {
+    const auto group = static_cast<net::GroupId>(flow >> 16);
+    const auto origin = static_cast<net::NodeId>(flow & 0xFFFF);
+    std::uint64_t fanout = 0;
+    const auto it = members.find(group);
+    if (it != members.end()) {
+      fanout = it->second.size();
+      if (it->second.contains(origin)) --fanout;
+    }
+    summary.expectedDeliveries += births * fanout;
+  }
+
+  OnlineStats delay;
+  for (const auto& [node, stats] : delayPerNode) delay.merge(stats);
+
+  summary.pdr = summary.expectedDeliveries > 0
+                    ? static_cast<double>(summary.packetsDelivered) /
+                          static_cast<double>(summary.expectedDeliveries)
+                    : 0.0;
+  summary.meanDelayS = delay.mean();
+  summary.throughputBps =
+      trace.activeS > 0.0
+          ? static_cast<double>(payloadBytesDelivered * 8) / trace.activeS
+          : 0.0;
+  summary.probeOverheadPct =
+      summary.dataBytesReceived > 0
+          ? 100.0 * static_cast<double>(summary.probeBytesReceived) /
+                static_cast<double>(summary.dataBytesReceived)
+          : 0.0;
+  return summary;
+}
+
+namespace {
+
+bool closeEnough(double a, double b, double relTolerance) {
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= relTolerance * scale;
+}
+
+void diffField(VerifyRunResult& run, const char* field, double traceValue,
+               double harnessValue, double relTolerance) {
+  if (!closeEnough(traceValue, harnessValue, relTolerance)) {
+    run.mismatches.push_back(FieldDiff{field, traceValue, harnessValue});
+  }
+}
+
+}  // namespace
+
+VerifyReport verifyAgainstResults(const std::string& resultsJsonlPath,
+                                  const std::string& traceDirOverride,
+                                  double relTolerance) {
+  VerifyReport report;
+  std::FILE* in = std::fopen(resultsJsonlPath.c_str(), "r");
+  if (in == nullptr) {
+    report.error = "cannot open results file: " + resultsJsonlPath;
+    return report;
+  }
+
+  std::string line;
+  char buf[4096];
+  while (true) {
+    line.clear();
+    bool eof = true;
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+      eof = false;
+      line.append(buf);
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        break;
+      }
+    }
+    if (eof && line.empty()) break;
+    if (line.empty()) continue;
+
+    std::string tracePath;
+    if (!jsonFindString(line, "trace", tracePath) || tracePath.empty()) {
+      ++report.skipped;  // run recorded without tracing
+      continue;
+    }
+    VerifyRunResult run;
+    run.tracePath = tracePath;
+    jsonFindString(line, "protocol", run.protocol);
+    jsonFindUint(line, "seed", run.seed);
+
+    bool rowOk = false;
+    if (!jsonFindBool(line, "ok", rowOk) || !rowOk) {
+      run.error = "harness run failed; nothing to verify";
+      report.runs.push_back(std::move(run));
+      continue;
+    }
+
+    if (!traceDirOverride.empty()) {
+      run.tracePath =
+          (std::filesystem::path{traceDirOverride} /
+           std::filesystem::path{tracePath}.filename()).string();
+    }
+    TraceReadResult read = readTraceFile(run.tracePath);
+    if (!read.trace) {
+      run.error = read.error;
+      report.runs.push_back(std::move(run));
+      continue;
+    }
+    const ParsedTrace& trace = *read.trace;
+    if (trace.seed != run.seed ||
+        (!run.protocol.empty() && trace.protocol != run.protocol)) {
+      run.error = "trace meta (seed/protocol) does not match the result row";
+      report.runs.push_back(std::move(run));
+      continue;
+    }
+
+    const TraceSummary summary = summarizeTrace(trace);
+    run.records = trace.records.size();
+    run.unknownReasonDrops = summary.unknownReasonDrops;
+
+    double pdr = 0.0, delayS = 0.0, overheadPct = 0.0, throughputBps = 0.0;
+    std::uint64_t sent = 0, delivered = 0, controlBytes = 0;
+    jsonFindDouble(line, "pdr", pdr);
+    jsonFindDouble(line, "delay_s", delayS);
+    jsonFindDouble(line, "overhead_pct", overheadPct);
+    jsonFindDouble(line, "throughput_bps", throughputBps);
+    jsonFindUint(line, "packets_sent", sent);
+    jsonFindUint(line, "packets_delivered", delivered);
+    jsonFindUint(line, "control_bytes", controlBytes);
+
+    diffField(run, "pdr", summary.pdr, pdr, relTolerance);
+    diffField(run, "delay_s", summary.meanDelayS, delayS, relTolerance);
+    diffField(run, "overhead_pct", summary.probeOverheadPct, overheadPct,
+              relTolerance);
+    diffField(run, "throughput_bps", summary.throughputBps, throughputBps,
+              relTolerance);
+    diffField(run, "packets_sent", static_cast<double>(summary.packetsSent),
+              static_cast<double>(sent), 0.0);
+    diffField(run, "packets_delivered",
+              static_cast<double>(summary.packetsDelivered),
+              static_cast<double>(delivered), 0.0);
+    diffField(run, "control_bytes",
+              static_cast<double>(summary.controlBytesReceived),
+              static_cast<double>(controlBytes), 0.0);
+    if (summary.unknownReasonDrops > 0) {
+      run.error = "trace contains drops with reason=unknown";
+    }
+    if (summary.deliversWithoutBirth > 0) {
+      run.error = "trace contains deliveries with no matching birth";
+    }
+    run.ok = run.error.empty() && run.mismatches.empty();
+    report.runs.push_back(std::move(run));
+  }
+  std::fclose(in);
+  return report;
+}
+
+}  // namespace mesh::trace

@@ -1,0 +1,85 @@
+#pragma once
+// Trace replay: recompute the paper's headline metrics from a trace alone.
+//
+// `summarizeTrace` walks the packet-lifecycle records and rebuilds PDR,
+// mean end-to-end delay, throughput, and probe overhead using *only* the
+// trace — none of the harness counters — replicating the harness
+// arithmetic operation-for-operation (per-node Welford accumulators merged
+// in node order, the same double expressions) so the two paths agree
+// bit-for-bit on a correct simulator. `verifyAgainstResults` then joins
+// each summary against the runner's results JSONL: any divergence is a bug
+// in one of the two accounting paths.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mesh/trace/trace_reader.hpp"
+
+namespace mesh::trace {
+
+struct TraceSummary {
+  std::uint64_t packetsSent{0};         // PktBirth records
+  std::uint64_t expectedDeliveries{0};  // births × member fan-out
+  std::uint64_t packetsDelivered{0};    // Deliver records
+  double pdr{0.0};
+  double meanDelayS{0.0};
+  double throughputBps{0.0};
+  std::uint64_t probeBytesReceived{0};
+  std::uint64_t dataBytesReceived{0};
+  std::uint64_t controlBytesReceived{0};
+  double probeOverheadPct{0.0};
+
+  std::uint64_t dropCount{0};
+  std::uint64_t unknownReasonDrops{0};
+  std::map<std::string, std::uint64_t> dropsByReason;
+
+  // Audit: Deliver records whose pid never appeared in a PktBirth — always
+  // zero on a well-formed trace.
+  std::uint64_t deliversWithoutBirth{0};
+};
+
+TraceSummary summarizeTrace(const ParsedTrace& trace);
+
+// One metric that disagreed between the replayed trace and the harness row.
+struct FieldDiff {
+  std::string field;
+  double traceValue{0.0};
+  double harnessValue{0.0};
+};
+
+struct VerifyRunResult {
+  std::string tracePath;
+  std::string protocol;
+  std::uint64_t seed{0};
+  bool ok{false};
+  std::string error;  // trace unreadable / meta mismatch
+  std::vector<FieldDiff> mismatches;
+  std::uint64_t unknownReasonDrops{0};
+  std::uint64_t records{0};
+};
+
+struct VerifyReport {
+  std::vector<VerifyRunResult> runs;
+  std::size_t skipped{0};  // result rows without a trace field
+  std::string error;       // results file unreadable
+  bool ok() const {
+    if (!error.empty()) return false;
+    for (const auto& run : runs) {
+      if (!run.ok) return false;
+    }
+    return !runs.empty();
+  }
+};
+
+// Replays every trace referenced by `resultsJsonlPath` and diffs the
+// recomputed metrics against the recorded ones. `traceDirOverride`
+// non-empty re-roots trace paths (results moved between machines).
+// Doubles compare within `relTolerance` (0 = bit-exact, the default
+// expectation); integers always compare exactly.
+VerifyReport verifyAgainstResults(const std::string& resultsJsonlPath,
+                                  const std::string& traceDirOverride = {},
+                                  double relTolerance = 0.0);
+
+}  // namespace mesh::trace

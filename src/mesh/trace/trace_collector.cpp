@@ -1,0 +1,264 @@
+#include "mesh/trace/trace_collector.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace mesh::trace {
+namespace {
+
+// Creates the parent directory of `path` if it has one. Returns false on
+// filesystem errors (never throws — callers print and carry on).
+bool ensureParentDir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path{path}.parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  return !ec;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::string spillPath,
+                               std::size_t spillThreshold)
+    : spillPath_{std::move(spillPath)},
+      spillThreshold_{spillThreshold == 0 ? 1 : spillThreshold} {}
+
+TraceCollector::~TraceCollector() {
+  if (spill_ != nullptr) std::fclose(spill_);
+  if (!spillPath_.empty() && spilled_ > 0) std::remove(spillPath_.c_str());
+}
+
+std::uint32_t TraceCollector::pidOf(const net::Packet& pkt) {
+  const auto [it, inserted] = pids_.try_emplace(pkt.uid(), nextPid_);
+  if (inserted) ++nextPid_;
+  return it->second;
+}
+
+void TraceCollector::append(const TraceRecord& record) {
+  buffer_.push_back(record);
+  ++total_;
+  if (!spillPath_.empty() && buffer_.size() >= spillThreshold_) spillBuffered();
+}
+
+bool TraceCollector::spillBuffered() {
+  if (spill_ == nullptr) {
+    if (!ensureParentDir(spillPath_)) return false;
+    spill_ = std::fopen(spillPath_.c_str(), "w+b");
+    if (spill_ == nullptr) return false;
+  }
+  const std::size_t wrote = std::fwrite(buffer_.data(), sizeof(TraceRecord),
+                                        buffer_.size(), spill_);
+  if (wrote != buffer_.size()) return false;
+  spilled_ += wrote;
+  buffer_.clear();
+  return true;
+}
+
+void TraceCollector::emitPacketEvent(EventType type, SimTime t,
+                                     net::NodeId node,
+                                     const net::Packet& pkt) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pidOf(pkt);
+  record.sizeBytes = static_cast<std::uint32_t>(pkt.sizeBytes());
+  record.node = node;
+  record.type = static_cast<std::uint8_t>(type);
+  record.kind = static_cast<std::uint8_t>(pkt.kind());
+  append(record);
+}
+
+void TraceCollector::packetBirth(SimTime t, net::NodeId node,
+                                 const net::Packet& pkt, net::GroupId group) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pidOf(pkt);
+  record.sizeBytes = static_cast<std::uint32_t>(pkt.sizeBytes());
+  record.node = node;
+  record.origin = pkt.origin();
+  record.group = group;
+  record.type = static_cast<std::uint8_t>(EventType::PktBirth);
+  record.kind = static_cast<std::uint8_t>(pkt.kind());
+  append(record);
+}
+
+void TraceCollector::memberJoin(SimTime t, net::NodeId node,
+                                net::GroupId group) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.node = node;
+  record.group = group;
+  record.type = static_cast<std::uint8_t>(EventType::MemberJoin);
+  append(record);
+}
+
+void TraceCollector::enqueue(SimTime t, net::NodeId node,
+                             const net::Packet& pkt) {
+  emitPacketEvent(EventType::Enqueue, t, node, pkt);
+}
+
+void TraceCollector::txStart(SimTime t, net::NodeId node,
+                             const net::Packet* pkt, std::uint32_t frameBytes) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pkt != nullptr ? pidOf(*pkt) : 0;
+  record.sizeBytes = frameBytes;
+  record.node = node;
+  record.type = static_cast<std::uint8_t>(EventType::TxStart);
+  record.kind = static_cast<std::uint8_t>(
+      pkt != nullptr ? pkt->kind() : net::PacketKind::MacControl);
+  append(record);
+}
+
+void TraceCollector::txEnd(SimTime t, net::NodeId node, const net::Packet* pkt,
+                           std::uint32_t frameBytes) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pkt != nullptr ? pidOf(*pkt) : 0;
+  record.sizeBytes = frameBytes;
+  record.node = node;
+  record.type = static_cast<std::uint8_t>(EventType::TxEnd);
+  record.kind = static_cast<std::uint8_t>(
+      pkt != nullptr ? pkt->kind() : net::PacketKind::MacControl);
+  append(record);
+}
+
+void TraceCollector::rxOk(SimTime t, net::NodeId node, const net::Packet& pkt) {
+  emitPacketEvent(EventType::RxOk, t, node, pkt);
+}
+
+void TraceCollector::probeTx(SimTime t, net::NodeId node,
+                             const net::Packet& pkt) {
+  emitPacketEvent(EventType::ProbeTx, t, node, pkt);
+}
+
+void TraceCollector::probeRx(SimTime t, net::NodeId node,
+                             const net::Packet& pkt) {
+  emitPacketEvent(EventType::ProbeRx, t, node, pkt);
+}
+
+void TraceCollector::forward(SimTime t, net::NodeId node,
+                             const net::Packet& pkt) {
+  emitPacketEvent(EventType::Forward, t, node, pkt);
+}
+
+void TraceCollector::deliver(SimTime t, net::NodeId node,
+                             const net::Packet& pkt,
+                             std::uint32_t payloadBytes, net::NodeId source,
+                             net::GroupId group) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pidOf(pkt);
+  record.sizeBytes = payloadBytes;
+  record.node = node;
+  record.origin = source;
+  record.group = group;
+  record.type = static_cast<std::uint8_t>(EventType::Deliver);
+  record.kind = static_cast<std::uint8_t>(pkt.kind());
+  append(record);
+}
+
+void TraceCollector::drop(SimTime t, net::NodeId node, const net::Packet* pkt,
+                          net::PacketKind kind, std::uint32_t sizeBytes,
+                          DropReason reason) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pkt != nullptr ? pidOf(*pkt) : 0;
+  record.sizeBytes = sizeBytes;
+  record.node = node;
+  record.type = static_cast<std::uint8_t>(EventType::Drop);
+  record.kind = static_cast<std::uint8_t>(kind);
+  record.reason = static_cast<std::uint8_t>(reason);
+  append(record);
+}
+
+std::string toJsonLine(const TraceRecord& record) {
+  const auto type = static_cast<EventType>(record.type);
+  const auto kind = static_cast<net::PacketKind>(record.kind);
+  char buf[256];
+  int n = 0;
+  if (type == EventType::MemberJoin) {
+    n = std::snprintf(buf, sizeof(buf),
+                      R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"group":%u})",
+                      record.timeNs, toString(type), record.node, record.group);
+  } else if (type == EventType::PktBirth || type == EventType::Deliver) {
+    n = std::snprintf(
+        buf, sizeof(buf),
+        R"({"t":%)" PRId64
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"origin":%u,"group":%u})",
+        record.timeNs, toString(type), record.node, record.pid,
+        net::toString(kind), record.sizeBytes, record.origin, record.group);
+  } else if (type == EventType::Drop) {
+    n = std::snprintf(
+        buf, sizeof(buf),
+        R"({"t":%)" PRId64
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"reason":"%s"})",
+        record.timeNs, toString(type), record.node, record.pid,
+        net::toString(kind), record.sizeBytes,
+        toString(static_cast<DropReason>(record.reason)));
+  } else {
+    n = std::snprintf(
+        buf, sizeof(buf),
+        R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u})",
+        record.timeNs, toString(type), record.node, record.pid,
+        net::toString(kind), record.sizeBytes);
+  }
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+bool TraceCollector::exportJsonl(
+    const std::string& path, const std::string& metaJson,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  if (!ensureParentDir(path)) return false;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  bool ok = std::fputs(metaJson.c_str(), out) >= 0 && std::fputc('\n', out) != EOF;
+
+  // Spilled records first (they precede everything in the buffer).
+  if (ok && spill_ != nullptr && spilled_ > 0) {
+    std::fflush(spill_);
+    ok = std::fseek(spill_, 0, SEEK_SET) == 0;
+    TraceRecord chunk[1024];
+    std::uint64_t remaining = spilled_;
+    while (ok && remaining > 0) {
+      const std::size_t want = remaining < 1024 ? static_cast<std::size_t>(remaining) : 1024;
+      const std::size_t got = std::fread(chunk, sizeof(TraceRecord), want, spill_);
+      if (got != want) {
+        ok = false;
+        break;
+      }
+      for (std::size_t i = 0; i < got && ok; ++i) {
+        const std::string line = toJsonLine(chunk[i]);
+        ok = std::fputs(line.c_str(), out) >= 0 && std::fputc('\n', out) != EOF;
+      }
+      remaining -= got;
+    }
+  }
+  for (const TraceRecord& record : buffer_) {
+    if (!ok) break;
+    const std::string line = toJsonLine(record);
+    ok = std::fputs(line.c_str(), out) >= 0 && std::fputc('\n', out) != EOF;
+  }
+  for (const auto& [name, value] : counters) {
+    if (!ok) break;
+    ok = std::fprintf(out, R"({"counter":"%s","value":%)" PRIu64 "}\n",
+                      name.c_str(), value) > 0;
+  }
+  ok = std::fclose(out) == 0 && ok;
+  if (ok) {
+    // Drain: the export consumed everything, so the spill file goes away
+    // now rather than at destruction. Records emitted after this point
+    // would start a new trace segment (no caller does).
+    if (spill_ != nullptr) {
+      std::fclose(spill_);
+      spill_ = nullptr;
+      std::remove(spillPath_.c_str());
+    }
+    spilled_ = 0;
+    buffer_.clear();
+  }
+  return ok;
+}
+
+}  // namespace mesh::trace

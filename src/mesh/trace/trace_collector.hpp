@@ -1,0 +1,96 @@
+#pragma once
+// TraceCollector: the per-run sink for packet-lifecycle records.
+//
+// One collector serves one Simulation (runs are single-threaded even under
+// the parallel sweep runner, so no locking). Components hold a cached
+// `trace::TraceCollector*` that is null when tracing is off — every hook
+// site compiles down to one pointer test, which the trace-overhead bench
+// guards at <2% of the event loop.
+//
+// Records buffer in memory as 32-byte PODs; past a threshold they spill to
+// `<path>.spill` so paper-scale runs stay bounded. `exportJsonl()` streams
+// meta line + records + counter totals to a JSONL file and removes the
+// spill. Packet uids (a process-global atomic, nondeterministic under
+// parallel sweeps) are normalized to dense per-trace pids at record time,
+// so the export bytes depend only on the run's seed.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/trace/trace_event.hpp"
+
+namespace mesh::trace {
+
+class TraceCollector {
+ public:
+  // ~32 MiB of buffered records before spilling to disk.
+  static constexpr std::size_t kDefaultSpillThreshold = std::size_t{1} << 20;
+
+  // `spillPath` empty disables spilling (everything stays in memory —
+  // fine for tests; paper runs pass the export path so spill lands
+  // alongside it).
+  explicit TraceCollector(std::string spillPath = {},
+                          std::size_t spillThreshold = kDefaultSpillThreshold);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // --- hot-path emitters (call sites guard on a cached non-null pointer) --
+  void packetBirth(SimTime t, net::NodeId node, const net::Packet& pkt,
+                   net::GroupId group);
+  void memberJoin(SimTime t, net::NodeId node, net::GroupId group);
+  void enqueue(SimTime t, net::NodeId node, const net::Packet& pkt);
+  // `pkt` may be null for MAC control frames (RTS/CTS/ACK).
+  void txStart(SimTime t, net::NodeId node, const net::Packet* pkt,
+               std::uint32_t frameBytes);
+  void txEnd(SimTime t, net::NodeId node, const net::Packet* pkt,
+             std::uint32_t frameBytes);
+  void rxOk(SimTime t, net::NodeId node, const net::Packet& pkt);
+  void probeTx(SimTime t, net::NodeId node, const net::Packet& pkt);
+  void probeRx(SimTime t, net::NodeId node, const net::Packet& pkt);
+  void forward(SimTime t, net::NodeId node, const net::Packet& pkt);
+  void deliver(SimTime t, net::NodeId node, const net::Packet& pkt,
+               std::uint32_t payloadBytes, net::NodeId source,
+               net::GroupId group);
+  void drop(SimTime t, net::NodeId node, const net::Packet* pkt,
+            net::PacketKind kind, std::uint32_t sizeBytes, DropReason reason);
+
+  std::uint64_t recordCount() const { return total_; }
+
+  // Streams `metaJson` (a complete one-line JSON object), every record in
+  // emission order, then one `{"counter":...,"value":...}` line per entry
+  // of `counters`. Creates parent directories. Returns false (and keeps
+  // the buffered records) if any file operation fails.
+  bool exportJsonl(
+      const std::string& path, const std::string& metaJson,
+      const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
+ private:
+  std::uint32_t pidOf(const net::Packet& pkt);
+  void append(const TraceRecord& record);
+  void emitPacketEvent(EventType type, SimTime t, net::NodeId node,
+                       const net::Packet& pkt);
+  bool spillBuffered();
+
+  std::string spillPath_;
+  std::size_t spillThreshold_;
+  std::FILE* spill_{nullptr};
+  std::uint64_t spilled_{0};
+  std::uint64_t total_{0};
+  std::vector<TraceRecord> buffer_;
+  std::unordered_map<std::uint64_t, std::uint32_t> pids_;
+  std::uint32_t nextPid_{1};  // 0 means "no packet"
+};
+
+// Formats one record as a single JSON line (no trailing newline).
+// Shared with nothing hot — used by export and by tests.
+std::string toJsonLine(const TraceRecord& record);
+
+}  // namespace mesh::trace

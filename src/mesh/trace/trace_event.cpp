@@ -1,0 +1,64 @@
+#include "mesh/trace/trace_event.hpp"
+
+#include <cstring>
+
+namespace mesh::trace {
+namespace {
+
+constexpr const char* kEventNames[] = {
+    "pkt_birth", "enqueue", "tx_start", "tx_end",   "rx_ok",       "drop",
+    "forward",   "deliver", "probe_tx", "probe_rx", "member_join",
+};
+
+constexpr const char* kDropNames[] = {
+    "unknown",
+    "mac_queue_tail",
+    "mac_retry_exhausted",
+    "mac_cts_timeout",
+    "phy_collision",
+    "phy_below_sensitivity",
+    "phy_radio_busy",
+    "route_dup_suppress",
+    "route_ttl_expired",
+    "route_stale_round",
+    "route_alpha_expired",
+    "route_worse_cost",
+    "route_no_route",
+};
+
+constexpr std::size_t kEventCount = sizeof(kEventNames) / sizeof(kEventNames[0]);
+constexpr std::size_t kDropCount = sizeof(kDropNames) / sizeof(kDropNames[0]);
+
+}  // namespace
+
+const char* toString(EventType type) {
+  const auto index = static_cast<std::size_t>(type);
+  return index < kEventCount ? kEventNames[index] : "invalid";
+}
+
+const char* toString(DropReason reason) {
+  const auto index = static_cast<std::size_t>(reason);
+  return index < kDropCount ? kDropNames[index] : "invalid";
+}
+
+bool eventTypeFromString(const char* text, EventType& out) {
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    if (std::strcmp(text, kEventNames[i]) == 0) {
+      out = static_cast<EventType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool dropReasonFromString(const char* text, DropReason& out) {
+  for (std::size_t i = 0; i < kDropCount; ++i) {
+    if (std::strcmp(text, kDropNames[i]) == 0) {
+      out = static_cast<DropReason>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mesh::trace

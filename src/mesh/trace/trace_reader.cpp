@@ -1,0 +1,205 @@
+#include "mesh/trace/trace_reader.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mesh::trace {
+namespace {
+
+// Locates the first character of the value for `"key":`. Our lines are
+// flat objects whose keys never appear inside string values, so a plain
+// substring scan is sound.
+bool findValue(std::string_view line, std::string_view key,
+               std::string_view& value) {
+  std::string pattern;
+  pattern.reserve(key.size() + 3);
+  pattern.push_back('"');
+  pattern.append(key);
+  pattern.append("\":");
+  const std::size_t at = line.find(pattern);
+  if (at == std::string_view::npos) return false;
+  value = line.substr(at + pattern.size());
+  return !value.empty();
+}
+
+bool kindFromString(const std::string& text, net::PacketKind& out) {
+  for (int i = 0; i <= static_cast<int>(net::PacketKind::MacControl); ++i) {
+    const auto kind = static_cast<net::PacketKind>(i);
+    if (text == net::toString(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool jsonFindInt(std::string_view line, std::string_view key,
+                 std::int64_t& out) {
+  std::string_view value;
+  if (!findValue(line, key, value)) return false;
+  const std::string token{value.substr(0, value.find_first_of(",}"))};
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str()) return false;
+  out = v;
+  return true;
+}
+
+bool jsonFindUint(std::string_view line, std::string_view key,
+                  std::uint64_t& out) {
+  std::int64_t v = 0;
+  if (!jsonFindInt(line, key, v) || v < 0) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool jsonFindDouble(std::string_view line, std::string_view key, double& out) {
+  std::string_view value;
+  if (!findValue(line, key, value)) return false;
+  const std::string token{value.substr(0, value.find_first_of(",}"))};
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end == token.c_str()) return false;
+  out = v;
+  return true;
+}
+
+bool jsonFindBool(std::string_view line, std::string_view key, bool& out) {
+  std::string_view value;
+  if (!findValue(line, key, value)) return false;
+  if (value.substr(0, 4) == "true") {
+    out = true;
+    return true;
+  }
+  if (value.substr(0, 5) == "false") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool jsonFindString(std::string_view line, std::string_view key,
+                    std::string& out) {
+  std::string_view value;
+  if (!findValue(line, key, value)) return false;
+  if (value.front() != '"') return false;
+  out.clear();
+  for (std::size_t i = 1; i < value.size(); ++i) {
+    const char c = value[i];
+    if (c == '"') return true;
+    if (c == '\\' && i + 1 < value.size()) {
+      const char next = value[++i];
+      switch (next) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default: out.push_back(next); break;  // \" \\ \/ and anything else
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;  // unterminated string
+}
+
+TraceReadResult readTraceFile(const std::string& path) {
+  TraceReadResult result;
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) {
+    result.error = "cannot open trace file: " + path;
+    return result;
+  }
+  ParsedTrace trace;
+  bool sawMeta = false;
+  std::string line;
+  char buf[1024];
+  std::size_t lineNo = 0;
+  auto fail = [&](const std::string& what) {
+    result.error = path + ":" + std::to_string(lineNo) + ": " + what;
+    std::fclose(in);
+    return result;
+  };
+  while (true) {
+    line.clear();
+    // fgets loop so over-long lines (none expected) still parse.
+    bool eof = true;
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+      eof = false;
+      line.append(buf);
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        break;
+      }
+    }
+    if (eof && line.empty()) break;
+    ++lineNo;
+    if (line.empty()) continue;
+
+    std::string text;
+    std::uint64_t u = 0;
+    if (!sawMeta) {
+      // First line is the meta object.
+      if (!jsonFindUint(line, "seed", trace.seed) ||
+          !jsonFindString(line, "protocol", trace.protocol) ||
+          !jsonFindUint(line, "nodes", trace.nodes) ||
+          !jsonFindDouble(line, "active_s", trace.activeS)) {
+        return fail("malformed meta line");
+      }
+      sawMeta = true;
+      continue;
+    }
+    if (jsonFindString(line, "counter", text)) {
+      if (!jsonFindUint(line, "value", u)) return fail("counter without value");
+      trace.counters.emplace_back(text, u);
+      continue;
+    }
+    ParsedRecord record;
+    if (!jsonFindInt(line, "t", record.timeNs) ||
+        !jsonFindString(line, "ev", text)) {
+      return fail("malformed record line");
+    }
+    if (!eventTypeFromString(text.c_str(), record.type)) {
+      return fail("unknown event type: " + text);
+    }
+    if (!jsonFindUint(line, "node", u)) return fail("record without node");
+    record.node = static_cast<net::NodeId>(u);
+    if (jsonFindUint(line, "pid", u)) record.pid = static_cast<std::uint32_t>(u);
+    if (jsonFindUint(line, "bytes", u)) {
+      record.bytes = static_cast<std::uint32_t>(u);
+    }
+    if (jsonFindString(line, "kind", text) &&
+        !kindFromString(text, record.kind)) {
+      return fail("unknown packet kind: " + text);
+    }
+    if (jsonFindUint(line, "origin", u)) {
+      record.origin = static_cast<net::NodeId>(u);
+    }
+    if (jsonFindUint(line, "group", u)) {
+      record.group = static_cast<net::GroupId>(u);
+    }
+    if (record.type == EventType::Drop) {
+      if (!jsonFindString(line, "reason", text) ||
+          !dropReasonFromString(text.c_str(), record.reason)) {
+        return fail("drop record without a known reason");
+      }
+    }
+    trace.records.push_back(record);
+  }
+  std::fclose(in);
+  if (!sawMeta) {
+    result.error = path + ": empty trace (no meta line)";
+    return result;
+  }
+  result.trace = std::move(trace);
+  return result;
+}
+
+}  // namespace mesh::trace

@@ -1,0 +1,59 @@
+#pragma once
+// Reads a trace JSONL export back into memory, plus the small flat-JSON
+// field scanners shared with `meshtrace` (which also scans the runner's
+// results JSONL). The scanners only handle the flat one-line objects this
+// codebase emits — keys are unique per line and values are numbers,
+// booleans, or strings without nested objects.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mesh/net/addr.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/trace/trace_event.hpp"
+
+namespace mesh::trace {
+
+// --- flat-JSON scanners ----------------------------------------------------
+// Each returns false when `key` is absent or its value has the wrong shape.
+bool jsonFindInt(std::string_view line, std::string_view key, std::int64_t& out);
+bool jsonFindUint(std::string_view line, std::string_view key, std::uint64_t& out);
+bool jsonFindDouble(std::string_view line, std::string_view key, double& out);
+bool jsonFindBool(std::string_view line, std::string_view key, bool& out);
+bool jsonFindString(std::string_view line, std::string_view key, std::string& out);
+
+// --- parsed trace ----------------------------------------------------------
+struct ParsedRecord {
+  std::int64_t timeNs{0};
+  EventType type{EventType::PktBirth};
+  net::NodeId node{0};
+  std::uint32_t pid{0};
+  net::PacketKind kind{net::PacketKind::Data};
+  std::uint32_t bytes{0};
+  net::NodeId origin{net::kInvalidNode};
+  net::GroupId group{0};
+  DropReason reason{DropReason::Unknown};
+};
+
+struct ParsedTrace {
+  // Meta line.
+  std::uint64_t seed{0};
+  std::string protocol;
+  std::uint64_t nodes{0};
+  double activeS{0.0};
+  std::vector<ParsedRecord> records;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+struct TraceReadResult {
+  std::optional<ParsedTrace> trace;
+  std::string error;  // set when trace is empty
+};
+
+TraceReadResult readTraceFile(const std::string& path);
+
+}  // namespace mesh::trace

@@ -1,12 +1,15 @@
 // meshsim: run a multicast mesh scenario described by a config file.
 //
-//   $ meshsim scenario.ini [--repeat N] [--jobs N] [--jsonl FILE] [--csv]
+//   $ meshsim scenario.ini [--repeat N] [--jobs N] [--jsonl FILE]
+//             [--trace DIR] [--csv]
 //
 // Prints the run's headline numbers; with --repeat, runs N seeds
 // (seed, seed+1, ...) and reports mean ± 95% CI. --csv emits one
 // machine-readable row per run instead. --jobs shards the repeats across
 // worker threads (results are bit-identical to --jobs 1); --jsonl appends
-// one structured record per run to FILE.
+// one structured record per run to FILE; --trace writes one
+// packet-lifecycle trace per run into DIR (see tools/meshtrace.cpp).
+// Missing parent directories for --jsonl/--trace are created on demand.
 //
 // See src/mesh/harness/config_file.hpp for the file format, and
 // tools/examples/*.ini for ready-made scenarios.
@@ -27,10 +30,12 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <scenario.ini> [--repeat N] [--jobs N] [--jsonl FILE] [--csv]\n"
+               "usage: %s <scenario.ini> [--repeat N] [--jobs N] [--jsonl FILE]"
+               " [--trace DIR] [--csv]\n"
                "  --repeat N   run N seeds (seed, seed+1, ...); N >= 1\n"
                "  --jobs N     worker threads (default 1; 0 = all hardware threads)\n"
                "  --jsonl F    append one JSON record per run to F\n"
+               "  --trace D    write one packet-lifecycle trace per run into D\n"
                "  --csv        one machine-readable row per run\n"
                "see src/mesh/harness/config_file.hpp for the file format\n",
                argv0);
@@ -58,6 +63,7 @@ int main(int argc, char** argv) {
   long jobs = 1;
   bool csv = false;
   std::string jsonlPath;
+  std::string traceDir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repeat") == 0) {
       if (i + 1 >= argc || !parseLong(argv[++i], 1, repeat)) {
@@ -75,6 +81,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       jsonlPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc || argv[i + 1][0] == '\0') {
+        std::fprintf(stderr, "--trace needs a directory path\n");
+        return 2;
+      }
+      traceDir = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
@@ -113,6 +125,7 @@ int main(int argc, char** argv) {
   options.duration = SimTime::zero();  // keep the scenario's own duration
   options.verbose = false;
   options.jobs = static_cast<std::size_t>(jobs);
+  options.traceDir = traceDir;
 
   std::unique_ptr<runner::JsonlResultSink> sink;
   if (!jsonlPath.empty()) {
