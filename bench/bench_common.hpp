@@ -27,6 +27,12 @@ inline constexpr std::int64_t kQuickDurationS = 150;
 // structured record per run), and --trace DIR (one packet-lifecycle trace
 // per run, for `meshtrace verify`). Unrecognized arguments are left for
 // the bench's own flag handling.
+//
+// Each JSONL record carries per-run engine telemetry alongside the
+// protocol metrics — `events`, `wall_s`, and `events_per_sec` — so the
+// trajectory files capture end-to-end simulator throughput; bench_micro +
+// tools/bench_compare (the perf-smoke gate) track the same hot paths at
+// micro scale.
 inline harness::BenchOptions benchOptions(int argc, char** argv,
                                           std::size_t defaultTopologies,
                                           std::int64_t defaultDurationS) {

@@ -44,6 +44,35 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+// Timer-restart workload: half of all scheduled events are cancelled
+// before firing (MAC backoff and protocol-window timers behave this way).
+// Exercises the O(1) generation-tagged tombstone path plus the lazy
+// discard of tombstones surfacing at the heap root.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng{7};
+  std::int64_t t = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(64);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(queue.push(
+          SimTime::nanoseconds(t + rng.uniformInt(std::int64_t{0},
+                                                  std::int64_t{1000000})),
+          [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+    while (!queue.empty()) {
+      auto popped = queue.pop();
+      benchmark::DoNotOptimize(popped.time);
+      t = popped.time.ns();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 96);  // 64 pushes + 32 pops
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simulator;
@@ -180,6 +209,60 @@ void BM_ChannelBroadcastFanout(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ChannelBroadcastFanout);
+
+// The per-transmission channel loop in isolation: Channel::transmit over
+// the precomputed link cache (fading draw + delivery scheduling), then a
+// drain of the scheduled arrivals. Tracks the zero-virtual-call hot path
+// that every simulated frame funnels through.
+void BM_ChannelTransmit(benchmark::State& state) {
+  sim::Simulator simulator;
+  phy::PhyParams params;
+  std::vector<Vec2> positions;
+  Rng place{8};
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    positions.push_back({place.uniform(0, 1500), place.uniform(0, 1500)});
+  }
+  auto model = std::make_unique<phy::GeometricLinkModel>(
+      params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+      std::make_unique<phy::RayleighFading>());
+  phy::Channel channel{simulator, std::move(model), Rng{9}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (int i = 0; i < n; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        simulator, static_cast<net::NodeId>(i), params));
+    channel.attach(*radios.back());
+  }
+  auto frame = phy::makeFrame(std::vector<std::uint8_t>(540, 0), nullptr);
+  const SimTime airtime = params.frameAirtime(540);
+  std::size_t tx = 0;
+  for (auto _ : state) {
+    channel.transmit(*radios[tx % n], frame, airtime);
+    ++tx;
+    simulator.run();  // drain the scheduled arrivals
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(channel.stats().deliveriesScheduled));
+}
+BENCHMARK(BM_ChannelTransmit);
+
+// Carrier-sense query cost with N concurrent arrivals: the MAC polls
+// mediumBusy() far more often than the arrival set changes, so this must
+// be O(1) on the running in-band power sum, not O(arrivals).
+void BM_RadioMediumBusy(benchmark::State& state) {
+  sim::Simulator simulator;
+  phy::PhyParams params;
+  phy::Radio radio{simulator, 0, params};
+  auto frame = phy::makeFrame(std::vector<std::uint8_t>(64, 0), nullptr);
+  // Park N weak (non-locking) arrivals on the radio; their end events are
+  // scheduled but never run inside the timed loop.
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    radio.beginArrival(frame, static_cast<net::NodeId>(i + 1),
+                       params.rxThresholdW * 0.1, SimTime::seconds(std::int64_t{3600}));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(radio.mediumBusy());
+}
+BENCHMARK(BM_RadioMediumBusy)->Arg(1)->Arg(8)->Arg(32);
 
 }  // namespace
 

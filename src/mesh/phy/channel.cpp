@@ -12,7 +12,8 @@ Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel
     : simulator_{simulator},
       linkModel_{std::move(linkModel)},
       rng_{rng},
-      fadingHeadroom_{fadingHeadroom} {
+      fadingHeadroom_{fadingHeadroom},
+      cacheMeans_{linkModel_ != nullptr && linkModel_->meansCacheable()} {
   MESH_REQUIRE(linkModel_ != nullptr);
   MESH_REQUIRE(fadingHeadroom_ >= 1.0);
 }
@@ -20,7 +21,7 @@ Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel
 void Channel::attach(Radio& radio) {
   MESH_REQUIRE(!reachabilityBuilt_);
   radios_.push_back(&radio);
-  radio.attachChannel(this);
+  radio.attachChannel(this, radios_.size() - 1);
 }
 
 void Channel::buildReachability() {
@@ -32,50 +33,68 @@ void Channel::buildReachability() {
       const double mean = linkModel_->meanRxPowerW(radios_[tx]->nodeId(),
                                                    radios_[rx]->nodeId());
       if (mean * fadingHeadroom_ >= csThreshold) {
-        reachable_[tx].push_back(rx);
+        const double distance =
+            linkModel_->distanceM(radios_[tx]->nodeId(), radios_[rx]->nodeId());
+        reachable_[tx].push_back(
+            CachedLink{static_cast<std::uint32_t>(rx), mean,
+                       SimTime::seconds(distance / kSpeedOfLight)});
       }
     }
   }
   reachabilityBuilt_ = true;
   reachabilityBuiltAt_ = simulator_.now();
+  ++stats_.reachabilityRebuilds;
 }
 
 void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
                        SimTime airtime) {
+  // Staleness first, before anything can consult the cache — and inclusive
+  // (>=), so a refresh interval of exactly the elapsed delta rebuilds
+  // instead of sliding one transmission past its deadline.
   if (reachabilityBuilt_ && !refreshInterval_.isZero() &&
-      simulator_.now() - reachabilityBuiltAt_ > refreshInterval_) {
+      simulator_.now() - reachabilityBuiltAt_ >= refreshInterval_) {
     reachabilityBuilt_ = false;  // stale under mobility: rebuild below
   }
   if (!reachabilityBuilt_) buildReachability();
   ++stats_.transmissions;
 
-  // Locate the sender's index (radios are few; linear scan is fine and
-  // avoids a map — attach order is stable).
-  std::size_t txIndex = radios_.size();
-  for (std::size_t i = 0; i < radios_.size(); ++i) {
-    if (radios_[i] == &sender) {
-      txIndex = i;
-      break;
-    }
-  }
-  MESH_REQUIRE(txIndex < radios_.size());
+  const std::size_t txIndex = sender.channelIndex();
+  MESH_ASSERT(txIndex < radios_.size() && radios_[txIndex] == &sender);
+  const net::NodeId txNode = sender.nodeId();
 
-  for (const std::size_t rxIndex : reachable_[txIndex]) {
-    Radio& receiver = *radios_[rxIndex];
-    const double powerW = linkModel_->sampleRxPowerW(
-        sender.nodeId(), receiver.nodeId(), rng_);
-    // Signals with no carrier-sense significance are not worth an event.
+  if (cacheMeans_) {
+    // Hot path: flat slab of precomputed (receiver, mean, delay); the only
+    // virtual call left is the per-frame sampling draw.
+    for (const CachedLink& link : reachable_[txIndex]) {
+      Radio& receiver = *radios_[link.rxIndex];
+      const double powerW = linkModel_->samplePowerGivenMeanW(
+          txNode, receiver.nodeId(), link.meanPowerW, rng_);
+      // Signals with no carrier-sense significance are not worth an event.
+      if (powerW < receiver.params().csThresholdW * 1e-3) continue;
+      ++stats_.deliveriesScheduled;
+      simulator_.schedule(link.propagation,
+                          [&receiver, frame, txNode, powerW, airtime] {
+                            receiver.beginArrival(frame, txNode, powerW, airtime);
+                          });
+    }
+    return;
+  }
+
+  // Mobility: positions change between rebuilds, so power and delay are
+  // queried live (the cache still bounds the fan-out via its headroom).
+  for (const CachedLink& link : reachable_[txIndex]) {
+    Radio& receiver = *radios_[link.rxIndex];
+    const double powerW =
+        linkModel_->sampleRxPowerW(txNode, receiver.nodeId(), rng_);
     if (powerW < receiver.params().csThresholdW * 1e-3) continue;
 
-    const double distance =
-        linkModel_->distanceM(sender.nodeId(), receiver.nodeId());
+    const double distance = linkModel_->distanceM(txNode, receiver.nodeId());
     const SimTime propagation = SimTime::seconds(distance / kSpeedOfLight);
     ++stats_.deliveriesScheduled;
-    simulator_.schedule(
-        propagation,
-        [&receiver, frame, tx = sender.nodeId(), powerW, airtime] {
-          receiver.beginArrival(frame, tx, powerW, airtime);
-        });
+    simulator_.schedule(propagation,
+                        [&receiver, frame, txNode, powerW, airtime] {
+                          receiver.beginArrival(frame, txNode, powerW, airtime);
+                        });
   }
 }
 

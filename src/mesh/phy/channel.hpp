@@ -11,6 +11,13 @@
 // headroom, default 32×, P(Exp(1) ≥ 32) ≈ 1e-14) could not lift its mean
 // power to the carrier-sense threshold. This is an optimization only — it
 // cannot change which frames are decodable.
+//
+// For link models whose geometry is pure per pair (everything except
+// mobility), the cache also freezes each reachable link's mean rx power
+// and propagation delay at build time, so the per-transmission loop makes
+// zero virtual LinkModel calls except the per-frame sampling hook
+// (LinkModel::samplePowerGivenMeanW) — which keeps RNG draw order, and
+// therefore every result, bit-identical to the uncached path.
 
 #include <cstdint>
 #include <memory>
@@ -29,6 +36,9 @@ namespace mesh::phy {
 struct ChannelStats {
   std::uint64_t transmissions{0};
   std::uint64_t deliveriesScheduled{0};
+  // Reachability/link-cache rebuilds (1 for static runs; mobility benches
+  // report this as cache churn).
+  std::uint64_t reachabilityRebuilds{0};
 };
 
 class Channel {
@@ -61,15 +71,25 @@ class Channel {
   std::size_t radioCount() const { return radios_.size(); }
 
  private:
+  // One reachable receiver of a transmitter: the slab the per-transmission
+  // loop iterates. meanPowerW/propagation are only read when the link
+  // model's means are cacheable; under mobility they are sampled live.
+  struct CachedLink {
+    std::uint32_t rxIndex;
+    double meanPowerW;
+    SimTime propagation;
+  };
+
   void buildReachability();
 
   sim::Simulator& simulator_;
   std::unique_ptr<LinkModel> linkModel_;
   Rng rng_;
   double fadingHeadroom_;
+  bool cacheMeans_{true};  // linkModel_->meansCacheable(), hoisted
 
   std::vector<Radio*> radios_;                 // indexed by attach order
-  std::vector<std::vector<std::size_t>> reachable_;  // per-radio receiver sets
+  std::vector<std::vector<CachedLink>> reachable_;  // per-radio receiver sets
   bool reachabilityBuilt_{false};
   SimTime refreshInterval_{SimTime::zero()};  // zero: never refresh
   SimTime reachabilityBuiltAt_{SimTime::zero()};

@@ -40,6 +40,26 @@ class LinkModel {
 
   // Distance used for propagation delay; may be zero for emulated links.
   virtual double distanceM(net::NodeId from, net::NodeId to) const = 0;
+
+  // True when meanRxPowerW/distanceM are pure functions of the node pair
+  // between reachability rebuilds. The channel then precomputes flat
+  // per-pair arrays (mean power, propagation delay) at buildReachability()
+  // time and the per-transmission loop makes no virtual calls except the
+  // per-frame sampling hook below. Clock-dependent geometry (mobility)
+  // must return false to keep live positions authoritative.
+  virtual bool meansCacheable() const { return true; }
+
+  // The per-frame stochastic part of sampleRxPowerW, given this link's
+  // (cached) mean power — the "fading gain" hook of the hot-path design.
+  // Contract: must draw from `rng` exactly as sampleRxPowerW does and
+  // return the bit-identical power, so the channel's link cache can never
+  // perturb RNG draw order or results. The default recomputes the mean via
+  // sampleRxPowerW (always correct); hot models override it.
+  virtual double samplePowerGivenMeanW(net::NodeId from, net::NodeId to,
+                                       double meanPowerW, Rng& rng) const {
+    (void)meanPowerW;
+    return sampleRxPowerW(from, to, rng);
+  }
 };
 
 class GeometricLinkModel final : public LinkModel {
@@ -60,11 +80,21 @@ class GeometricLinkModel final : public LinkModel {
   }
 
   double sampleRxPowerW(net::NodeId from, net::NodeId to, Rng& rng) const override {
-    return meanRxPowerW(from, to) * fading_->powerGain(rng);
+    return meanRxPowerW(from, to) * sampleFadingGain(rng);
   }
 
   double distanceM(net::NodeId from, net::NodeId to) const override {
     return position(from).distanceTo(position(to));
+  }
+
+  // One fading draw per frame; the only stochastic part of a sample.
+  double sampleFadingGain(Rng& rng) const { return fading_->powerGain(rng); }
+
+  double samplePowerGivenMeanW(net::NodeId, net::NodeId, double meanPowerW,
+                               Rng& rng) const override {
+    // Same product as sampleRxPowerW with the cached mean substituted for
+    // the propagation recomputation: identical draws, identical bits.
+    return meanPowerW * sampleFadingGain(rng);
   }
 
   std::size_t nodeCount() const { return positions_.size(); }
@@ -115,6 +145,10 @@ class MobileGeometricLinkModel final : public LinkModel {
     return mobility_->positionAt(from, now)
         .distanceTo(mobility_->positionAt(to, now));
   }
+
+  // Positions move between reachability rebuilds: power and delay must be
+  // sampled live per transmission, never frozen into the link cache.
+  bool meansCacheable() const override { return false; }
 
   const MobilityModel& mobility() const { return *mobility_; }
 

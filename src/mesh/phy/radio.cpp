@@ -16,10 +16,13 @@ bool Radio::mediumBusy() const {
   return totalInbandPowerW() >= params_.csThresholdW;
 }
 
-double Radio::totalInbandPowerW() const {
+// Exact re-sum in vector order; called whenever an arrival is removed so
+// the running total never accumulates cancellation error (subtracting the
+// departed term would drift bitwise from the naive left fold).
+void Radio::resumInbandPower() {
   double sum = 0.0;
   for (const auto& a : arrivals_) sum += a.rxPowerW;
-  return sum;
+  inbandPowerW_ = sum;
 }
 
 double Radio::interferenceFor(std::uint64_t excludedKey) const {
@@ -86,6 +89,8 @@ void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
   const std::uint64_t key = ++nextArrivalKey_;
   arrivals_.push_back(Arrival{key, frame, transmitter, rxPowerW,
                               simulator_.now() + airtime});
+  // Appending extends the left-fold sum by one term: still bit-exact.
+  inbandPowerW_ += rxPowerW;
   simulator_.schedule(airtime, [this, key] { endArrival(key); });
 
   const bool decodable = rxPowerW >= params_.rxThresholdW;
@@ -116,6 +121,7 @@ void Radio::endArrival(std::uint64_t key) {
   MESH_ASSERT(it != arrivals_.end());
   const Arrival arrival = std::move(*it);
   arrivals_.erase(it);
+  resumInbandPower();
 
   if (lockedActive_ && lockedKey_ == key) {
     lockedActive_ = false;

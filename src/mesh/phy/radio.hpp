@@ -102,7 +102,14 @@ class Radio {
 
   // --- Channel-facing -----------------------------------------------------
 
-  void attachChannel(Channel* channel) { channel_ = channel; }
+  // `index` is this radio's position in the channel's attach order; the
+  // channel passes it back so transmit() resolves the sender row of the
+  // reachability cache in O(1) instead of a linear scan.
+  void attachChannel(Channel* channel, std::size_t index) {
+    channel_ = channel;
+    channelIndex_ = index;
+  }
+  std::size_t channelIndex() const { return channelIndex_; }
 
   // Called by the channel at the instant the first energy of a frame
   // reaches this radio. The radio schedules the end of the arrival itself.
@@ -123,7 +130,9 @@ class Radio {
   void traceDrop(const PhyFramePtr& frame, trace::DropReason reason);
 
   double interferenceFor(std::uint64_t excludedKey) const;
-  double totalInbandPowerW() const;
+  // O(1): the maintained running sum (see inbandPowerW_ below).
+  double totalInbandPowerW() const { return inbandPowerW_; }
+  void resumInbandPower();
   void reevaluateLockedSinr();
   void notifyMediumIfChanged();
 
@@ -131,12 +140,20 @@ class Radio {
   net::NodeId node_;
   PhyParams params_;
   Channel* channel_{nullptr};
+  std::size_t channelIndex_{0};  // row in the channel's reachability cache
 
   RxCallback rxCallback_;
   MediumCallback mediumCallback_;
 
   std::vector<Arrival> arrivals_;
   std::uint64_t nextArrivalKey_{0};
+
+  // Running total of arriving signal power, kept exactly equal (bitwise)
+  // to a fresh left-to-right sum over arrivals_: appends accumulate
+  // incrementally (which IS the left fold extended by one term) and every
+  // removal triggers an exact re-sum in resumInbandPower(). Carrier-sense
+  // queries become O(1) with no FP drift relative to the naive loop.
+  double inbandPowerW_{0.0};
 
   bool lockedActive_{false};
   std::uint64_t lockedKey_{0};

@@ -92,6 +92,13 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
   appendField(line, "events", record.eventsExecuted);
   line += ',';
   appendField(line, "wall_s", record.wallSeconds);
+  line += ',';
+  // End-to-end engine throughput, so trajectory files track simulator
+  // speed alongside protocol metrics. 0 when the clock saw no time pass.
+  appendField(line, "events_per_sec",
+              record.wallSeconds > 0.0
+                  ? static_cast<double>(record.eventsExecuted) / record.wallSeconds
+                  : 0.0);
   if (!record.tracePath.empty()) {
     line += ",\"trace\":\"";
     appendEscaped(line, record.tracePath);

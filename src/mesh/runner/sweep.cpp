@@ -31,13 +31,18 @@ class ProgressPrinter {
     std::lock_guard<std::mutex> lock{mutex_};
     ++done_;
     if (record.ok) {
+      const double eventsPerSec =
+          record.wallSeconds > 0.0
+              ? static_cast<double>(record.eventsExecuted) / record.wallSeconds
+              : 0.0;
       std::fprintf(stderr,
                    "[bench] %3zu/%zu  topology %zu  protocol %-6s "
-                   "pdr=%.4f delay=%.4fs overhead=%.2f%%  (%.1fs wall)\n",
+                   "pdr=%.4f delay=%.4fs overhead=%.2f%%  (%.1fs wall, "
+                   "%.2fM ev/s)\n",
                    done_, total_, record.topologyIndex + 1,
                    record.protocolName.c_str(), record.results.pdr,
                    record.results.meanDelayS, record.results.probeOverheadPct,
-                   record.wallSeconds);
+                   record.wallSeconds, eventsPerSec / 1e6);
     } else {
       std::fprintf(stderr,
                    "[bench] %3zu/%zu  topology %zu  protocol %-6s "

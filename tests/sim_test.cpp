@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "mesh/sim/event_queue.hpp"
+#include "mesh/sim/small_callback.hpp"
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
 
@@ -65,6 +68,55 @@ TEST(EventQueue, NextTimeSkipsCancelledHead) {
   EXPECT_EQ(q.nextTime(), 2_s);
 }
 
+// Regression: the lazy-cancel design recorded a cancel of an already-fired
+// event forever (unbounded cancelled-set growth) and decremented live_,
+// corrupting empty()/size(). Generation-tagged ids must reject fired
+// handles outright.
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  const EventId id = q.push(1_s, [] {});
+  q.push(2_s, [] {});
+  q.pop().callback();  // fires the 1_s event
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);  // bookkeeping intact
+  EXPECT_FALSE(q.empty());
+  q.pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // still rejected on an empty queue
+}
+
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot) {
+  EventQueue q;
+  const EventId stale = q.push(1_s, [] {});
+  q.pop();  // slot returns to the free list
+  int fired = 0;
+  q.push(1_s, [&] { ++fired; });  // reuses the slot, new generation
+  EXPECT_FALSE(q.cancel(stale));
+  q.pop().callback();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledHandleStaysDeadAfterSlotReuse) {
+  EventQueue q;
+  const EventId id = q.push(1_s, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  int fired = 0;
+  q.push(1_s, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(id));
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, MoveOnlyCapture) {
+  EventQueue q;
+  auto box = std::make_unique<int>(41);
+  int seen = 0;
+  q.push(1_s, [box = std::move(box), &seen] { seen = *box + 1; });
+  q.pop().callback();
+  EXPECT_EQ(seen, 42);
+}
+
 TEST(EventQueue, ClearEmpties) {
   EventQueue q;
   q.push(1_s, [] {});
@@ -72,6 +124,76 @@ TEST(EventQueue, ClearEmpties) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+// ---------------------------------------------------------- SmallCallback
+
+TEST(SmallCallback, InlineVsHeapStorageBySize) {
+  // The hot-path captures must stay inline; oversized ones fall to heap.
+  struct Fits {
+    std::array<char, SmallCallback::kInlineBytes> pad;
+    void operator()() const {}
+  };
+  struct Oversized {
+    std::array<char, SmallCallback::kInlineBytes + 1> pad;
+    void operator()() const {}
+  };
+  static_assert(SmallCallback::storedInline<Fits>());
+  static_assert(!SmallCallback::storedInline<Oversized>());
+
+  SmallCallback inlineCb{Fits{}};
+  SmallCallback heapCb{Oversized{}};
+  EXPECT_TRUE(static_cast<bool>(inlineCb));
+  EXPECT_TRUE(static_cast<bool>(heapCb));
+  inlineCb();
+  heapCb();
+}
+
+TEST(SmallCallback, InvokesAndMoves) {
+  int count = 0;
+  SmallCallback a{[&count] { ++count; }};
+  a();
+  EXPECT_EQ(count, 1);
+  SmallCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(count, 2);
+  SmallCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SmallCallback, MoveOnlyCaptureInlineAndHeap) {
+  // unique_ptr capture: rejected by std::function, required here. Test
+  // both storage classes so the heap manager's pointer-steal is covered.
+  int seen = 0;
+  SmallCallback small{[p = std::make_unique<int>(7), &seen] { seen = *p; }};
+  SmallCallback moved{std::move(small)};
+  moved();
+  EXPECT_EQ(seen, 7);
+
+  std::array<char, 64> pad{};
+  pad[0] = 3;
+  auto bigLambda = [p = std::make_unique<int>(4), pad, &seen] {
+    seen = *p + pad[0];
+  };
+  static_assert(!SmallCallback::storedInline<decltype(bigLambda)>());
+  SmallCallback big{std::move(bigLambda)};
+  SmallCallback bigMoved{std::move(big)};
+  bigMoved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SmallCallback, DestroysCaptureExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    SmallCallback cb{[counter] { }};
+    EXPECT_EQ(counter.use_count(), 2);
+    SmallCallback moved{std::move(cb)};
+    EXPECT_EQ(counter.use_count(), 2);  // relocation, not duplication
+  }
+  EXPECT_EQ(counter.use_count(), 1);
 }
 
 // -------------------------------------------------------------- Simulator
