@@ -1,0 +1,77 @@
+#pragma once
+// FaultInjector: executes a FaultSchedule against a running simulation.
+//
+// The injector hooks the simulator clock (one scheduled event per fault
+// boundary) and mutates PHY state through the narrow interfaces built for
+// it — Radio::setFailed / Radio::injectNoise / Channel::overrideLinkLoss —
+// never by reaching into protocol internals: everything above the PHY
+// (MAC retries, ODMRP forwarding-group refresh, probe decay) reacts to a
+// fault exactly as it would to real silence. Every application and
+// clearance is recorded through the TraceCollector as FaultInject /
+// FaultClear records, so traces are self-describing and the determinism
+// contract (same seed + schedule => byte-identical trace) covers faults.
+
+#include <cstdint>
+#include <functional>
+
+#include "mesh/fault/fault_schedule.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/sim/simulator.hpp"
+#include "mesh/trace/trace_collector.hpp"
+
+namespace mesh::fault {
+
+struct FaultInjectorStats {
+  std::uint64_t applied{0};
+  std::uint64_t cleared{0};
+  std::uint64_t crashes{0};
+  std::uint64_t blackouts{0};
+  std::uint64_t lossRamps{0};
+  std::uint64_t bursts{0};
+  std::uint64_t blackholes{0};
+};
+
+class FaultInjector {
+ public:
+  // Called with (victim, active) when a ProbeBlackhole begins/ends; the
+  // harness wires this to MeshNode::setProbeBlackhole. Unset: blackholes
+  // are counted but have no effect (pure-PHY rigs).
+  using BlackholeHook = std::function<void(net::NodeId, bool)>;
+
+  FaultInjector(sim::Simulator& simulator, phy::Channel& channel,
+                FaultSchedule schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
+  void setBlackholeHook(BlackholeHook hook) { blackhole_ = std::move(hook); }
+
+  // Schedules apply/clear callbacks for every event in the schedule. Call
+  // once, before the run; events already in the past are rejected.
+  void arm();
+
+  // Immediate application/clearance at the current sim time — tests drive
+  // the injector directly without a schedule.
+  void applyNow(const FaultEvent& event) { apply(event); }
+  void clearNow(const FaultEvent& event) { clear(event); }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  void apply(const FaultEvent& event);
+  void clear(const FaultEvent& event);
+  void rampStep(const FaultEvent& event, int step);
+  void traceFault(trace::EventType type, const FaultEvent& event);
+
+  sim::Simulator& simulator_;
+  phy::Channel& channel_;
+  FaultSchedule schedule_;
+  trace::TraceCollector* trace_{nullptr};
+  BlackholeHook blackhole_;
+  bool armed_{false};
+  FaultInjectorStats stats_;
+};
+
+}  // namespace mesh::fault

@@ -68,7 +68,7 @@ class Parser {
           config.groups.push_back(GroupSpec{static_cast<net::GroupId>(id), {}, {}});
           group = &config.groups.back();
         } else if (section != "scenario" && section != "protocol" &&
-                   section != "traffic") {
+                   section != "traffic" && section != "faults") {
           return fail(lineNo, "unknown section [" + section + "]");
         }
         continue;
@@ -87,6 +87,8 @@ class Parser {
         error = protocolKey(config, key, value);
       } else if (section == "traffic") {
         error = trafficKey(config, key, value);
+      } else if (section == "faults") {
+        error = faultsKey(config, key, value);
       } else if (group != nullptr) {
         error = groupKey(*group, key, value);
       } else {
@@ -108,6 +110,12 @@ class Parser {
         if (id >= config.nodeCount) {
           return {std::nullopt, "config error: member id out of range"};
         }
+      }
+    }
+    for (const fault::FaultEvent& event : config.faults.events()) {
+      if (event.node >= config.nodeCount ||
+          (event.peer != net::kInvalidNode && event.peer >= config.nodeCount)) {
+        return {std::nullopt, "config error: fault node id out of range"};
       }
     }
     return {std::move(config), {}};
@@ -271,6 +279,178 @@ class Parser {
       return {};
     }
     return "unknown [traffic] key '" + key + "'";
+  }
+
+  // --- [faults] -----------------------------------------------------------
+  //
+  //   event = crash <node> @ <start_s> [+<dur_s>]
+  //   event = blackout <a>-<b> @ <start_s> [+<dur_s>]
+  //   event = loss <a>-<b> <rate> @ <start_s> [+<dur_s>]
+  //   event = burst <node> <dbm> @ <start_s> +<dur_s>
+  //   event = blackhole <node> @ <start_s> [+<dur_s>]
+  //
+  // plus seed-defined churn (merged with the explicit events at build):
+  //
+  //   crashes_per_minute / blackouts_per_minute / bursts_per_minute
+  //   mean_outage_s, mean_burst_s, burst_power_dbm, warmup_s
+
+  static std::vector<std::string_view> splitTokens(std::string_view v) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < v.size()) {
+      while (i < v.size() && std::isspace(static_cast<unsigned char>(v[i]))) ++i;
+      if (i >= v.size()) break;
+      std::size_t j = i;
+      while (j < v.size() && !std::isspace(static_cast<unsigned char>(v[j]))) ++j;
+      out.push_back(v.substr(i, j - i));
+      i = j;
+    }
+    return out;
+  }
+
+  static std::optional<net::NodeId> nodeId(std::string_view v) {
+    int id{};
+    if (std::from_chars(v.data(), v.data() + v.size(), id).ec != std::errc{} ||
+        id < 0 || id > 0xFFFF) {
+      return std::nullopt;
+    }
+    return static_cast<net::NodeId>(id);
+  }
+
+  std::string faultEventSpec(ScenarioConfig& config, std::string_view value) {
+    const std::vector<std::string_view> toks = splitTokens(value);
+    if (toks.empty()) return "empty fault event";
+    fault::FaultEvent event;
+    const std::string kindWord = lower(toks[0]);
+    if (!trace::faultKindFromString(kindWord.c_str(), event.kind)) {
+      return "unknown fault kind '" + kindWord +
+             "' (crash/blackout/loss/burst/blackhole)";
+    }
+
+    std::size_t i = 1;
+    const auto takePair = [&]() -> std::string {
+      if (i >= toks.size()) return "expected <a>-<b> node pair";
+      const std::size_t dash = toks[i].find('-');
+      if (dash == std::string_view::npos) return "expected <a>-<b> node pair";
+      const auto a = nodeId(toks[i].substr(0, dash));
+      const auto b = nodeId(toks[i].substr(dash + 1));
+      if (!a || !b || *a == *b) return "bad node pair '" + std::string{toks[i]} + "'";
+      event.node = *a;
+      event.peer = *b;
+      ++i;
+      return {};
+    };
+    const auto takeNode = [&]() -> std::string {
+      if (i >= toks.size()) return "expected a node id";
+      const auto id = nodeId(toks[i]);
+      if (!id) return "bad node id '" + std::string{toks[i]} + "'";
+      event.node = *id;
+      ++i;
+      return {};
+    };
+
+    std::string error;
+    switch (event.kind) {
+      case trace::FaultKind::NodeCrash:
+      case trace::FaultKind::ProbeBlackhole:
+        error = takeNode();
+        break;
+      case trace::FaultKind::LinkBlackout:
+        error = takePair();
+        break;
+      case trace::FaultKind::LossRamp: {
+        error = takePair();
+        if (error.empty()) {
+          if (i >= toks.size()) return "loss needs a rate in [0, 1]";
+          const auto rate = number(toks[i]);
+          if (!rate || *rate < 0.0 || *rate > 1.0) {
+            return "loss rate must be in [0, 1]";
+          }
+          event.lossRate = *rate;
+          ++i;
+        }
+        break;
+      }
+      case trace::FaultKind::InterferenceBurst: {
+        error = takeNode();
+        if (error.empty()) {
+          if (i >= toks.size()) return "burst needs a power in dBm";
+          const auto dbm = number(toks[i]);
+          if (!dbm) return "bad burst power '" + std::string{toks[i]} + "'";
+          event.powerDbm = *dbm;
+          ++i;
+        }
+        break;
+      }
+    }
+    if (!error.empty()) return error;
+
+    if (i >= toks.size() || toks[i] != "@") return "expected '@ <start_s>'";
+    ++i;
+    if (i >= toks.size()) return "expected a start time after '@'";
+    const auto start = number(toks[i]);
+    if (!start || *start < 0.0) return "start time must be non-negative";
+    event.start = SimTime::seconds(*start);
+    ++i;
+
+    if (i < toks.size()) {
+      if (toks[i].front() != '+') return "expected '+<dur_s>' after the start";
+      const auto dur = number(toks[i].substr(1));
+      if (!dur || *dur <= 0.0) return "duration must be positive";
+      event.duration = SimTime::seconds(*dur);
+      ++i;
+    }
+    if (i != toks.size()) return "trailing tokens in fault event";
+    if (event.kind == trace::FaultKind::InterferenceBurst &&
+        event.duration.isZero()) {
+      return "burst requires a '+<dur_s>' window";
+    }
+    config.faults.add(event);
+    return {};
+  }
+
+  static fault::ChurnSpec& churnOf(ScenarioConfig& config) {
+    if (!config.churn) config.churn.emplace();
+    return *config.churn;
+  }
+
+  std::string faultsKey(ScenarioConfig& config, const std::string& key,
+                        std::string_view value) {
+    if (key == "event") return faultEventSpec(config, value);
+    if (key == "crashes_per_minute" || key == "blackouts_per_minute" ||
+        key == "bursts_per_minute") {
+      const auto n = number(value);
+      if (!n || *n < 0) return key + " must be non-negative";
+      if (key == "crashes_per_minute") churnOf(config).crashesPerMinute = *n;
+      else if (key == "blackouts_per_minute") churnOf(config).blackoutsPerMinute = *n;
+      else churnOf(config).burstsPerMinute = *n;
+      return {};
+    }
+    if (key == "mean_outage_s") {
+      const auto n = number(value);
+      if (!n || *n <= 0) return "mean_outage_s must be positive";
+      churnOf(config).meanOutage = SimTime::seconds(*n);
+      return {};
+    }
+    if (key == "mean_burst_s") {
+      const auto n = number(value);
+      if (!n || *n <= 0) return "mean_burst_s must be positive";
+      churnOf(config).meanBurst = SimTime::seconds(*n);
+      return {};
+    }
+    if (key == "burst_power_dbm") {
+      const auto n = number(value);
+      if (!n) return "burst_power_dbm must be a number";
+      churnOf(config).burstPowerDbm = *n;
+      return {};
+    }
+    if (key == "warmup_s") {
+      const auto n = number(value);
+      if (!n || *n < 0) return "warmup_s must be non-negative";
+      churnOf(config).warmup = SimTime::seconds(*n);
+      return {};
+    }
+    return "unknown [faults] key '" + key + "'";
   }
 
   std::string groupKey(GroupSpec& group, const std::string& key,

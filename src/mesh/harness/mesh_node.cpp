@@ -82,6 +82,15 @@ void MeshNode::addCbrSource(const app::CbrConfig& config) {
 void MeshNode::dispatch(const net::PacketPtr& packet, net::NodeId from) {
   switch (packet->kind()) {
     case net::PacketKind::Probe:
+      if (probeBlackhole_) {
+        ++bytes_.probesBlackholed;
+        if (trace_ != nullptr) {
+          trace_->drop(simulator_.now(), id(), packet.get(), packet->kind(),
+                       static_cast<std::uint32_t>(packet->sizeBytes()),
+                       trace::DropReason::FaultProbeBlackhole);
+        }
+        break;
+      }
       bytes_.probeBytesReceived += packet->sizeBytes();
       if (trace_ != nullptr) {
         trace_->probeRx(simulator_.now(), id(), *packet);
@@ -153,6 +162,7 @@ void MeshNode::registerCounters(trace::CounterRegistry& registry) const {
   registry.add("probe.received", &probe.probesReceived);
   registry.add("probe.bytes_received", &probe.probeBytesReceived);
 
+  registry.add("app.probes_blackholed", &bytes_.probesBlackholed);
   registry.add("app.rx_bytes.probe", &bytes_.probeBytesReceived);
   registry.add("app.rx_bytes.control", &bytes_.controlBytesReceived);
   registry.add("app.rx_bytes.data", &bytes_.dataBytesReceived);

@@ -36,6 +36,7 @@ struct NodeByteCounters {
   std::uint64_t probeBytesReceived{0};
   std::uint64_t controlBytesReceived{0};
   std::uint64_t dataBytesReceived{0};
+  std::uint64_t probesBlackholed{0};  // eaten by a ProbeBlackhole fault
 };
 
 struct MeshNodeConfig {
@@ -74,6 +75,13 @@ class MeshNode {
   void joinGroup(net::GroupId group);
   void addCbrSource(const app::CbrConfig& config);
 
+  // Fault injection (ProbeBlackhole): while active, incoming probes are
+  // silently eaten before the neighbor table sees them — the node still
+  // *sends* probes, so neighbors believe the link is fine while this
+  // node's metric state quietly rots. Cleared by the injector.
+  void setProbeBlackhole(bool active) { probeBlackhole_ = active; }
+  bool probeBlackhole() const { return probeBlackhole_; }
+
   // --- access ---------------------------------------------------------
   phy::Radio& radio() { return radio_; }
   mac::Mac80211& mac() { return mac_; }
@@ -106,6 +114,7 @@ class MeshNode {
   app::MulticastSink sink_;
   std::unique_ptr<app::CbrSource> cbr_;
   NodeByteCounters bytes_;
+  bool probeBlackhole_{false};
 };
 
 }  // namespace mesh::harness

@@ -156,6 +156,7 @@ void Simulation::build() {
 
   channel_ = std::make_unique<phy::Channel>(simulator_, std::move(linkModel),
                                             rng.fork("channel"));
+  if (trace_ != nullptr) channel_->setTrace(trace_.get());
   if (config_.mobilityMaxSpeedMps > 0.0) {
     // Fading headroom gives the cache ~3.4x distance slack over the CS
     // range (~1.3 km); refresh every 2 s so even 30 m/s nodes cannot
@@ -187,6 +188,56 @@ void Simulation::build() {
   }
 
   for (auto& node : nodes_) node->start();
+
+  // Faults last: the schedule is merged (explicit + generated churn) and
+  // armed against the fully built simulation.
+  fault::FaultSchedule schedule = config_.faults;
+  if (config_.churn) {
+    // Churn victims: every node that is neither a source nor a member.
+    std::vector<bool> excluded(config_.nodeCount, false);
+    for (const GroupSpec& spec : config_.groups) {
+      for (const net::NodeId s : spec.sources) excluded.at(s) = true;
+      for (const net::NodeId m : spec.members) excluded.at(m) = true;
+    }
+    std::vector<net::NodeId> eligible;
+    for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+      if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+    }
+    const fault::FaultSchedule generated = fault::FaultSchedule::generate(
+        *config_.churn, config_.duration, eligible, rng.fork("faults"));
+    for (const fault::FaultEvent& event : generated.events()) {
+      schedule.add(event);
+    }
+  }
+  if (!schedule.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(simulator_, *channel_,
+                                                       std::move(schedule));
+    injector_->setTrace(trace_.get());
+    injector_->setBlackholeHook([this](net::NodeId node, bool active) {
+      nodes_.at(node)->setProbeBlackhole(active);
+    });
+    injector_->arm();
+
+    // Mean fan-out per originated data packet: the factor that turns the
+    // analyzer's originated-counter deltas into expected deliveries.
+    double fanout = 0.0;
+    std::size_t sources = 0;
+    for (const GroupSpec& spec : config_.groups) {
+      for (const net::NodeId source : spec.sources) {
+        std::uint64_t f = 0;
+        for (const net::NodeId member : spec.members) {
+          if (member != source) ++f;
+        }
+        fanout += static_cast<double>(f);
+        ++sources;
+      }
+    }
+    if (sources > 0) fanout /= static_cast<double>(sources);
+    recovery_ = std::make_unique<fault::RecoveryAnalyzer>(
+        simulator_, registry_, injector_->schedule(), config_.duration,
+        fanout);
+    recovery_->arm();
+  }
 }
 
 RunResults Simulation::run() {
@@ -247,6 +298,19 @@ RunResults Simulation::run() {
           ? 100.0 * static_cast<double>(results.probeBytesReceived) /
                 static_cast<double>(results.dataBytesReceived)
           : 0.0;
+
+  if (recovery_ != nullptr) {
+    const fault::RecoveryReport recovered = recovery_->report();
+    results.faultsApplied = recovered.faultsApplied;
+    results.faultsCleared = recovered.faultsCleared;
+    results.faultWindowS = recovered.faultWindowS;
+    results.inWindowPdr = recovered.inWindowPdr;
+    results.outWindowPdr = recovered.outWindowPdr;
+    results.overheadInflation = recovered.overheadInflation;
+    results.meanTimeToRepairS = recovered.meanTimeToRepairS;
+    results.repairsObserved = recovered.repairsObserved;
+    results.repairsUnresolved = recovered.repairsUnresolved;
+  }
 
   if (trace_ != nullptr) {
     char meta[256];

@@ -18,6 +18,8 @@
 
 #include "mesh/common/rng.hpp"
 #include "mesh/common/vec2.hpp"
+#include "mesh/fault/fault_injector.hpp"
+#include "mesh/fault/recovery_analyzer.hpp"
 #include "mesh/harness/mesh_node.hpp"
 #include "mesh/metrics/metric.hpp"
 #include "mesh/phy/channel.hpp"
@@ -98,6 +100,14 @@ struct ScenarioConfig {
 
   MeshNodeConfig node;  // phy / mac / odmrp parameter blocks
 
+  // Fault injection (src/mesh/fault). `faults` is an explicit timeline;
+  // `churn` additionally generates a seed-defined random schedule at build
+  // time (merged into the timeline). Churn victims exclude every source
+  // and member so a crash breaks *routes*, not endpoints — the recovery
+  // metrics would be meaningless otherwise. Both empty: zero overhead.
+  fault::FaultSchedule faults;
+  std::optional<fault::ChurnSpec> churn;
+
   // Optional: replace geometric placement entirely (testbed emulation).
   // When set, positions are taken from `fixedPositions` (may be empty for
   // display-free models) and the factory's model is used as-is. The
@@ -134,6 +144,17 @@ struct RunResults {
   std::uint64_t macBroadcastsSent{0};
   std::uint64_t radioFramesCorrupted{0};
   std::uint64_t eventsExecuted{0};
+
+  // Fault/churn metrics (RecoveryAnalyzer); all zero on fault-free runs.
+  std::uint64_t faultsApplied{0};
+  std::uint64_t faultsCleared{0};
+  double faultWindowS{0.0};
+  double inWindowPdr{0.0};
+  double outWindowPdr{0.0};
+  double overheadInflation{0.0};
+  double meanTimeToRepairS{0.0};
+  std::uint64_t repairsObserved{0};
+  std::uint64_t repairsUnresolved{0};
 };
 
 class Simulation {
@@ -152,6 +173,9 @@ class Simulation {
   const trace::TraceCollector* trace() const { return trace_.get(); }
   MeshNode& node(net::NodeId id) { return *nodes_.at(id); }
   std::size_t nodeCount() const { return nodes_.size(); }
+  // Non-null only when the scenario carries faults (explicit or churn).
+  fault::FaultInjector* faultInjector() { return injector_.get(); }
+  const fault::RecoveryAnalyzer* recovery() const { return recovery_.get(); }
   const std::vector<Vec2>& positions() const { return positions_; }
   const ScenarioConfig& config() const { return config_; }
 
@@ -172,6 +196,8 @@ class Simulation {
   std::unique_ptr<metrics::Metric> metric_;  // null for original ODMRP
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<MeshNode>> nodes_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::RecoveryAnalyzer> recovery_;
   std::vector<Vec2> positions_;
 };
 

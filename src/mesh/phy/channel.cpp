@@ -1,6 +1,7 @@
 #include "mesh/phy/channel.hpp"
 
 #include "mesh/common/log.hpp"
+#include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::phy {
 namespace {
@@ -19,31 +20,86 @@ Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel
 }
 
 void Channel::attach(Radio& radio) {
-  MESH_REQUIRE(!reachabilityBuilt_);
+  MESH_REQUIRE(!attachClosed_);
   radios_.push_back(&radio);
   radio.attachChannel(this, radios_.size() - 1);
+}
+
+void Channel::overrideLinkLoss(net::NodeId a, net::NodeId b, double loss) {
+  MESH_REQUIRE(a != b);
+  MESH_REQUIRE(loss >= 0.0 && loss <= 1.0);
+  linkLoss_[net::LinkKey{a, b}] = loss;
+  linkLoss_[net::LinkKey{b, a}] = loss;
+}
+
+void Channel::clearLinkLoss(net::NodeId a, net::NodeId b) {
+  linkLoss_.erase(net::LinkKey{a, b});
+  linkLoss_.erase(net::LinkKey{b, a});
+}
+
+Radio* Channel::findRadio(net::NodeId node) const {
+  for (Radio* radio : radios_) {
+    if (radio->nodeId() == node) return radio;
+  }
+  return nullptr;
 }
 
 void Channel::buildReachability() {
   reachable_.assign(radios_.size(), {});
   for (std::size_t tx = 0; tx < radios_.size(); ++tx) {
+    // A failed radio keeps an empty receiver set (it cannot radiate) and
+    // never appears in anyone else's set (it cannot hear). The injector
+    // invalidates the cache on every fail/recover so this stays current.
+    if (radios_[tx]->failed()) continue;
     const double csThreshold = radios_[tx]->params().csThresholdW;
     for (std::size_t rx = 0; rx < radios_.size(); ++rx) {
-      if (rx == tx) continue;
+      if (rx == tx || radios_[rx]->failed()) continue;
       const double mean = linkModel_->meanRxPowerW(radios_[tx]->nodeId(),
                                                    radios_[rx]->nodeId());
-      if (mean * fadingHeadroom_ >= csThreshold) {
+      if (mean * fadingHeadroom_ < csThreshold) continue;
+      if (cacheMeans_) {
         const double distance =
             linkModel_->distanceM(radios_[tx]->nodeId(), radios_[rx]->nodeId());
         reachable_[tx].push_back(
             CachedLink{static_cast<std::uint32_t>(rx), mean,
                        SimTime::seconds(distance / kSpeedOfLight)});
+      } else {
+        // Mobility: the per-transmission loop re-queries power and distance
+        // live, so deriving them here would be dead work — record only the
+        // receiver index.
+        reachable_[tx].push_back(CachedLink{static_cast<std::uint32_t>(rx),
+                                            0.0, SimTime::zero()});
       }
     }
   }
   reachabilityBuilt_ = true;
+  attachClosed_ = true;
   reachabilityBuiltAt_ = simulator_.now();
   ++stats_.reachabilityRebuilds;
+  if (cacheMeans_) {
+    ++stats_.cachedRebuilds;
+  } else {
+    ++stats_.liveRebuilds;
+  }
+}
+
+bool Channel::lossSuppressed(net::NodeId tx, net::NodeId rx,
+                             const PhyFramePtr& frame) {
+  const auto it = linkLoss_.find(net::LinkKey{tx, rx});
+  if (it == linkLoss_.end()) return false;
+  // A full blackout consumes no RNG draw: the pre- and post-fault segments
+  // of the run keep their draw sequence aligned with a fault-free run.
+  const bool suppressed = it->second >= 1.0 || rng_.bernoulli(it->second);
+  if (!suppressed) return false;
+  ++stats_.faultSuppressedDeliveries;
+  if (trace_ != nullptr) {
+    trace_->drop(simulator_.now(), rx, frame->payload.get(),
+                 frame->payload != nullptr ? frame->payload->kind()
+                                           : net::PacketKind::MacControl,
+                 static_cast<std::uint32_t>(frame->sizeBytes()),
+                 trace::DropReason::FaultLinkDown);
+  }
+  return true;
 }
 
 void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
@@ -67,6 +123,10 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
     // virtual call left is the per-frame sampling draw.
     for (const CachedLink& link : reachable_[txIndex]) {
       Radio& receiver = *radios_[link.rxIndex];
+      if (!linkLoss_.empty() &&
+          lossSuppressed(txNode, receiver.nodeId(), frame)) {
+        continue;
+      }
       const double powerW = linkModel_->samplePowerGivenMeanW(
           txNode, receiver.nodeId(), link.meanPowerW, rng_);
       // Signals with no carrier-sense significance are not worth an event.
@@ -84,6 +144,10 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
   // queried live (the cache still bounds the fan-out via its headroom).
   for (const CachedLink& link : reachable_[txIndex]) {
     Radio& receiver = *radios_[link.rxIndex];
+    if (!linkLoss_.empty() &&
+        lossSuppressed(txNode, receiver.nodeId(), frame)) {
+      continue;
+    }
     const double powerW =
         linkModel_->sampleRxPowerW(txNode, receiver.nodeId(), rng_);
     if (powerW < receiver.params().csThresholdW * 1e-3) continue;

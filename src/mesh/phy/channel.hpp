@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mesh/common/rng.hpp"
@@ -37,8 +38,15 @@ struct ChannelStats {
   std::uint64_t transmissions{0};
   std::uint64_t deliveriesScheduled{0};
   // Reachability/link-cache rebuilds (1 for static runs; mobility benches
-  // report this as cache churn).
+  // report this as cache churn). Always cachedRebuilds + liveRebuilds.
   std::uint64_t reachabilityRebuilds{0};
+  // Rebuilds that froze per-pair means/delays into the link cache
+  // (meansCacheable() true) vs. reachability-only rebuilds that left the
+  // per-pair fields to live queries (mobility).
+  std::uint64_t cachedRebuilds{0};
+  std::uint64_t liveRebuilds{0};
+  // Deliveries suppressed by a fault-injected link blackout or loss ramp.
+  std::uint64_t faultSuppressedDeliveries{0};
 };
 
 class Channel {
@@ -66,6 +74,26 @@ class Channel {
   // Called by Radio::transmit.
   void transmit(Radio& sender, const PhyFramePtr& frame, SimTime airtime);
 
+  // --- fault injection (mesh/fault) ---------------------------------------
+
+  // Force every delivery on the (undirected) pair to be lost with
+  // probability `loss` (1.0 = blackout, suppressed without an RNG draw).
+  // Layered on top of the link model: fading and the reachability cache are
+  // untouched, so clearing the override restores the exact pre-fault link.
+  void overrideLinkLoss(net::NodeId a, net::NodeId b, double loss);
+  void clearLinkLoss(net::NodeId a, net::NodeId b);
+
+  // Drop the reachability/link cache; the next transmission rebuilds it.
+  // The fault injector calls this when a radio fails or recovers, so the
+  // cached receiver sets track the injected topology.
+  void invalidateReachability() { reachabilityBuilt_ = false; }
+
+  // Linear scan by node id — fault-application time only, never per frame.
+  Radio* findRadio(net::NodeId node) const;
+
+  // Optional drop records for fault-suppressed deliveries.
+  void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
+
   const LinkModel& linkModel() const { return *linkModel_; }
   const ChannelStats& stats() const { return stats_; }
   std::size_t radioCount() const { return radios_.size(); }
@@ -81,6 +109,9 @@ class Channel {
   };
 
   void buildReachability();
+  // Returns true when a loss override says this delivery must be
+  // suppressed (drawing from rng_ for partial loss rates).
+  bool lossSuppressed(net::NodeId tx, net::NodeId rx, const PhyFramePtr& frame);
 
   sim::Simulator& simulator_;
   std::unique_ptr<LinkModel> linkModel_;
@@ -90,7 +121,12 @@ class Channel {
 
   std::vector<Radio*> radios_;                 // indexed by attach order
   std::vector<std::vector<CachedLink>> reachable_;  // per-radio receiver sets
+  // Directed-pair loss overrides; overrideLinkLoss installs both
+  // directions. Empty in fault-free runs (one .empty() test per tx).
+  std::unordered_map<net::LinkKey, double, net::LinkKeyHash> linkLoss_;
+  trace::TraceCollector* trace_{nullptr};
   bool reachabilityBuilt_{false};
+  bool attachClosed_{false};  // set at first build; attach() forbidden after
   SimTime refreshInterval_{SimTime::zero()};  // zero: never refresh
   SimTime reachabilityBuiltAt_{SimTime::zero()};
   ChannelStats stats_;

@@ -12,8 +12,43 @@ Radio::Radio(sim::Simulator& simulator, net::NodeId node, PhyParams params)
     : simulator_{simulator}, node_{node}, params_{params} {}
 
 bool Radio::mediumBusy() const {
+  if (failed_) return false;  // powered off: senses nothing
   if (isTransmitting() || lockedActive_) return true;
   return totalInbandPowerW() >= params_.csThresholdW;
+}
+
+void Radio::setFailed(bool failed) {
+  if (failed == failed_) return;
+  if (failed && lockedActive_) {
+    // The reception in progress dies with the radio.
+    lockedActive_ = false;
+    lockedCorrupted_ = false;
+    ++stats_.framesLostFailed;
+    if (trace_ != nullptr) {
+      const auto it = std::find_if(
+          arrivals_.begin(), arrivals_.end(),
+          [this](const Arrival& a) { return a.key == lockedKey_; });
+      if (it != arrivals_.end()) {
+        traceDrop(it->frame, trace::DropReason::FaultNodeDown);
+      }
+    }
+  }
+  failed_ = failed;
+  // An in-flight own transmission is not truncated: its energy is already
+  // scheduled at every receiver. Crash granularity is one frame.
+  notifyMediumIfChanged();
+}
+
+void Radio::injectNoise(double powerW, SimTime duration) {
+  MESH_REQUIRE(powerW > 0.0 && duration > SimTime::zero());
+  const std::uint64_t key = ++nextArrivalKey_;
+  arrivals_.push_back(Arrival{key, nullptr, net::kInvalidNode, powerW,
+                              simulator_.now() + duration});
+  inbandPowerW_ += powerW;
+  ++stats_.noiseBursts;
+  simulator_.schedule(duration, [this, key] { endArrival(key); });
+  if (lockedActive_) reevaluateLockedSinr();
+  notifyMediumIfChanged();
 }
 
 // Exact re-sum in vector order; called whenever an arrival is removed so
@@ -43,6 +78,13 @@ void Radio::traceDrop(const PhyFramePtr& frame, trace::DropReason reason) {
 void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
   MESH_REQUIRE(channel_ != nullptr);
   MESH_REQUIRE(!isTransmitting());
+  if (failed_) {
+    // Crashed node: the MAC's state machine keeps running, but nothing
+    // reaches the air.
+    ++stats_.framesLostFailed;
+    if (trace_ != nullptr) traceDrop(frame, trace::DropReason::FaultNodeDown);
+    return;
+  }
   // Transmission preempts any in-progress reception: the locked frame is
   // lost (half-duplex). The MAC avoids this by deferring, but a JOIN REPLY
   // scheduled with zero jitter can race a reception; model the loss rather
@@ -86,6 +128,13 @@ void Radio::endTransmit() {
 
 void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
                          double rxPowerW, SimTime airtime) {
+  if (failed_) {
+    // Powered off: the energy never enters the receive chain (and never
+    // counts for carrier sense), so recovery starts from a clean radio.
+    ++stats_.framesLostFailed;
+    if (trace_ != nullptr) traceDrop(frame, trace::DropReason::FaultNodeDown);
+    return;
+  }
   const std::uint64_t key = ++nextArrivalKey_;
   arrivals_.push_back(Arrival{key, frame, transmitter, rxPowerW,
                               simulator_.now() + airtime});

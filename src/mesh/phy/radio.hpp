@@ -51,6 +51,8 @@ struct RadioStats {
   std::uint64_t framesCorrupted{0};      // locked but SINR dipped (collision)
   std::uint64_t framesBelowThreshold{0}; // energy sensed, never decodable
   std::uint64_t framesMissedBusy{0};     // arrived while radio Tx/Rx-locked
+  std::uint64_t framesLostFailed{0};     // tx/rx swallowed while setFailed(true)
+  std::uint64_t noiseBursts{0};          // injectNoise() calls (fault subsystem)
   std::uint64_t bytesSent{0};
   std::uint64_t bytesDelivered{0};
   SimTime airtimeTx{SimTime::zero()};
@@ -81,6 +83,24 @@ class Radio {
 
   bool isTransmitting() const { return txUntil_ > simulator_.now(); }
   bool isLocked() const { return lockedActive_; }
+
+  // --- fault injection (mesh/fault) ---------------------------------------
+
+  // Powers the radio off/on. While failed the radio neither radiates
+  // (transmit() swallows the frame with a FaultNodeDown drop) nor hears
+  // (beginArrival ignores incoming energy). A reception in progress at the
+  // failure instant is lost. In-flight arrivals drain on their own
+  // schedule, so recovery never observes stale state. The caller (the
+  // FaultInjector) is responsible for invalidating the channel's
+  // reachability cache so the topology change is visible there too.
+  void setFailed(bool failed);
+  bool failed() const { return failed_; }
+
+  // Adds `powerW` of undecodable in-band energy for `duration`: it raises
+  // carrier sense and degrades the SINR of any locked frame, exactly like
+  // a co-channel interferer, but can never lock the receiver. Models the
+  // fault subsystem's interference bursts.
+  void injectNoise(double powerW, SimTime duration);
   // Carrier sense: physically busy (tx/rx) or total in-band energy above
   // the CS threshold. (NAV-based virtual carrier sense lives in the MAC.)
   bool mediumBusy() const;
@@ -117,6 +137,8 @@ class Radio {
                     double rxPowerW, SimTime airtime);
 
  private:
+  // `frame` is null for injected noise bursts, which carry energy but can
+  // never be locked onto or decoded.
   struct Arrival {
     std::uint64_t key;
     PhyFramePtr frame;
@@ -158,6 +180,7 @@ class Radio {
   bool lockedActive_{false};
   std::uint64_t lockedKey_{0};
   bool lockedCorrupted_{false};
+  bool failed_{false};  // fault injection: radio powered off
 
   SimTime txUntil_{SimTime::zero()};
   PhyFramePtr txFrame_;  // in-flight own frame, for the TxEnd record

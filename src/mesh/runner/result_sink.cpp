@@ -99,6 +99,26 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
               record.wallSeconds > 0.0
                   ? static_cast<double>(record.eventsExecuted) / record.wallSeconds
                   : 0.0);
+  // Churn metrics (all zero on fault-free runs). Always present so every
+  // trajectory row of a failure-rate sweep has the same schema.
+  line += ',';
+  appendField(line, "faults", record.results.faultsApplied);
+  line += ',';
+  appendField(line, "faults_cleared", record.results.faultsCleared);
+  line += ',';
+  appendField(line, "fault_window_s", record.results.faultWindowS);
+  line += ',';
+  appendField(line, "pdr_in_window", record.results.inWindowPdr);
+  line += ',';
+  appendField(line, "pdr_out_window", record.results.outWindowPdr);
+  line += ',';
+  appendField(line, "overhead_inflation", record.results.overheadInflation);
+  line += ',';
+  appendField(line, "ttr_s", record.results.meanTimeToRepairS);
+  line += ',';
+  appendField(line, "repairs", record.results.repairsObserved);
+  line += ',';
+  appendField(line, "repairs_unresolved", record.results.repairsUnresolved);
   if (!record.tracePath.empty()) {
     line += ",\"trace\":\"";
     appendEscaped(line, record.tracePath);
@@ -114,7 +134,14 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
 }
 
 void JsonlResultSink::write(const RunRecord& record) {
-  const std::string line = toJson(record) + "\n";
+  std::string line = toJson(record);
+  if (!extra_.empty()) {
+    // Splice the caller's raw fields before the closing brace.
+    line.back() = ',';
+    line += extra_;
+    line += '}';
+  }
+  line += '\n';
   std::lock_guard<std::mutex> lock{mutex_};
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fflush(file_);  // trajectory files are tailed while sweeps run

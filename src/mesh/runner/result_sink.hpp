@@ -36,11 +36,18 @@ class JsonlResultSink final : public ResultSink {
 
   void write(const RunRecord& record) override;
 
+  // Raw JSON fields (e.g. `"failure_rate":0.5`) spliced into every
+  // subsequent record — sweeps over an external parameter tag their rows
+  // without reopening the sink (the constructor truncates). Not
+  // thread-safe against concurrent write(); set it between sweeps.
+  void setExtra(std::string rawJsonFields) { extra_ = std::move(rawJsonFields); }
+
   // The one-line JSON encoding of a record (no trailing newline).
   static std::string toJson(const RunRecord& record);
 
  private:
   std::mutex mutex_;
+  std::string extra_;
   std::FILE* file_{nullptr};
 };
 

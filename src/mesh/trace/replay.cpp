@@ -65,6 +65,12 @@ TraceSummary summarizeTrace(const ParsedTrace& trace) {
         ++summary.dropsByReason[toString(record.reason)];
         if (record.reason == DropReason::Unknown) ++summary.unknownReasonDrops;
         break;
+      case EventType::FaultInject:
+        ++summary.faultsInjected;
+        break;
+      case EventType::FaultClear:
+        ++summary.faultsCleared;
+        break;
       default:
         break;
     }

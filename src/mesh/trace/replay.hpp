@@ -35,6 +35,11 @@ struct TraceSummary {
   std::uint64_t unknownReasonDrops{0};
   std::map<std::string, std::uint64_t> dropsByReason;
 
+  // Fault-injection records (src/mesh/fault): applied/cleared faults seen
+  // in the trace. Zero on fault-free runs.
+  std::uint64_t faultsInjected{0};
+  std::uint64_t faultsCleared{0};
+
   // Audit: Deliver records whose pid never appeared in a PktBirth — always
   // zero on a well-formed trace.
   std::uint64_t deliversWithoutBirth{0};

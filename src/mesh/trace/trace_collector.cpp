@@ -173,12 +173,37 @@ void TraceCollector::drop(SimTime t, net::NodeId node, const net::Packet* pkt,
   append(record);
 }
 
+void TraceCollector::faultEvent(SimTime t, EventType type, FaultKind kind,
+                                net::NodeId node, net::NodeId peer) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.node = node;
+  record.origin = peer;
+  record.type = static_cast<std::uint8_t>(type);
+  record.reason = static_cast<std::uint8_t>(kind);
+  append(record);
+}
+
 std::string toJsonLine(const TraceRecord& record) {
   const auto type = static_cast<EventType>(record.type);
   const auto kind = static_cast<net::PacketKind>(record.kind);
   char buf[256];
   int n = 0;
-  if (type == EventType::MemberJoin) {
+  if (type == EventType::FaultInject || type == EventType::FaultClear) {
+    const auto fault = static_cast<FaultKind>(record.reason);
+    if (record.origin != net::kInvalidNode) {
+      n = std::snprintf(
+          buf, sizeof(buf),
+          R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s","peer":%u})",
+          record.timeNs, toString(type), record.node, toString(fault),
+          record.origin);
+    } else {
+      n = std::snprintf(buf, sizeof(buf),
+                        R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s"})",
+                        record.timeNs, toString(type), record.node,
+                        toString(fault));
+    }
+  } else if (type == EventType::MemberJoin) {
     n = std::snprintf(buf, sizeof(buf),
                       R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"group":%u})",
                       record.timeNs, toString(type), record.node, record.group);

@@ -61,6 +61,10 @@ class TraceCollector {
                net::GroupId group);
   void drop(SimTime t, net::NodeId node, const net::Packet* pkt,
             net::PacketKind kind, std::uint32_t sizeBytes, DropReason reason);
+  // Fault subsystem: `type` is FaultInject or FaultClear; `peer` is the
+  // second link endpoint for link faults (kInvalidNode otherwise).
+  void faultEvent(SimTime t, EventType type, FaultKind kind, net::NodeId node,
+                  net::NodeId peer);
 
   std::uint64_t recordCount() const { return total_; }
 

@@ -8,6 +8,7 @@ namespace {
 constexpr const char* kEventNames[] = {
     "pkt_birth", "enqueue", "tx_start", "tx_end",   "rx_ok",       "drop",
     "forward",   "deliver", "probe_tx", "probe_rx", "member_join",
+    "fault_inject", "fault_clear",
 };
 
 constexpr const char* kDropNames[] = {
@@ -24,10 +25,18 @@ constexpr const char* kDropNames[] = {
     "route_alpha_expired",
     "route_worse_cost",
     "route_no_route",
+    "fault_node_down",
+    "fault_link_down",
+    "fault_probe_blackhole",
+};
+
+constexpr const char* kFaultNames[] = {
+    "crash", "blackout", "loss", "burst", "blackhole",
 };
 
 constexpr std::size_t kEventCount = sizeof(kEventNames) / sizeof(kEventNames[0]);
 constexpr std::size_t kDropCount = sizeof(kDropNames) / sizeof(kDropNames[0]);
+constexpr std::size_t kFaultCount = sizeof(kFaultNames) / sizeof(kFaultNames[0]);
 
 }  // namespace
 
@@ -39,6 +48,11 @@ const char* toString(EventType type) {
 const char* toString(DropReason reason) {
   const auto index = static_cast<std::size_t>(reason);
   return index < kDropCount ? kDropNames[index] : "invalid";
+}
+
+const char* toString(FaultKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  return index < kFaultCount ? kFaultNames[index] : "invalid";
 }
 
 bool eventTypeFromString(const char* text, EventType& out) {
@@ -55,6 +69,16 @@ bool dropReasonFromString(const char* text, DropReason& out) {
   for (std::size_t i = 0; i < kDropCount; ++i) {
     if (std::strcmp(text, kDropNames[i]) == 0) {
       out = static_cast<DropReason>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool faultKindFromString(const char* text, FaultKind& out) {
+  for (std::size_t i = 0; i < kFaultCount; ++i) {
+    if (std::strcmp(text, kFaultNames[i]) == 0) {
+      out = static_cast<FaultKind>(i);
       return true;
     }
   }

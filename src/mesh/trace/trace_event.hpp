@@ -32,6 +32,8 @@ enum class EventType : std::uint8_t {
   ProbeTx = 8,     // metric probe sent (single or packet-pair half)
   ProbeRx = 9,     // metric probe received at the dispatch layer
   MemberJoin = 10, // node joined a multicast group (build time)
+  FaultInject = 11, // fault subsystem applied a fault (node/link/noise)
+  FaultClear = 12,  // fault subsystem cleared a fault (recover/restore)
 };
 
 enum class DropReason : std::uint8_t {
@@ -51,13 +53,30 @@ enum class DropReason : std::uint8_t {
   RouteAlphaExpired = 10,  // improving duplicate query outside the α window
   RouteWorseCost = 11,     // duplicate query that did not improve the path
   RouteNoRoute = 12,       // member had no upstream to answer a query round
+  // Fault-injection subsystem (src/mesh/fault).
+  FaultNodeDown = 13,      // frame hit a crashed node's radio (tx or rx)
+  FaultLinkDown = 14,      // delivery suppressed by a link blackout/loss ramp
+  FaultProbeBlackhole = 15,// probe swallowed by an injected probe blackhole
+};
+
+// What a FaultInject/FaultClear record describes. Lives here (not in
+// mesh/fault) because the trace layer owns every record vocabulary, the
+// same way DropReason does.
+enum class FaultKind : std::uint8_t {
+  NodeCrash = 0,         // radio powered off (recover = powered back on)
+  LinkBlackout = 1,      // directed pair loss forced to 1.0
+  LossRamp = 2,          // pair loss ramped 0 -> target over the window
+  InterferenceBurst = 3, // extra in-band power injected at a radio
+  ProbeBlackhole = 4,    // node silently swallows received probes
 };
 
 const char* toString(EventType type);
 const char* toString(DropReason reason);
+const char* toString(FaultKind kind);
 // Returns false when `text` names no known value.
 bool eventTypeFromString(const char* text, EventType& out);
 bool dropReasonFromString(const char* text, DropReason& out);
+bool faultKindFromString(const char* text, FaultKind& out);
 
 // Fixed-layout binary record. `pid` is a per-trace dense packet id assigned
 // in first-appearance order (not the process-global Packet uid, which is
@@ -72,7 +91,7 @@ struct TraceRecord {
   net::GroupId group{0};
   std::uint8_t type{0};    // EventType
   std::uint8_t kind{0};    // net::PacketKind
-  std::uint8_t reason{0};  // DropReason (Drop records only)
+  std::uint8_t reason{0};  // DropReason (Drop) or FaultKind (FaultInject/Clear)
   std::uint8_t pad[7]{};   // explicit zero padding: spill files are memcpy'd
 };
 static_assert(sizeof(TraceRecord) == 32, "compact fixed-layout trace record");

@@ -136,6 +136,80 @@ TEST(MobilityEndToEnd, MovingMeshStillDelivers) {
   EXPECT_GT(results.pdr, 0.75);
 }
 
+TEST(MobileLinkModel, LiveQueriesMatchFrozenPositionsBitForBit) {
+  // meansCacheable() == false forces the channel to query the model live
+  // per transmission instead of freezing per-pair means into the link
+  // cache. The contract behind that fallback: a live query at time t is
+  // bit-identical to a static model frozen at the instantaneous positions
+  // — same propagation arithmetic, same fading draw sequence.
+  sim::Simulator simulator;
+  RandomWaypointMobility::Params params = smallArea();
+  auto mobility = std::make_unique<RandomWaypointMobility>(3, params, Rng{21});
+  const auto* mobilityPtr = mobility.get();
+  MobileGeometricLinkModel mobile{simulator, PhyParams{}, std::move(mobility),
+                                  std::make_unique<TwoRayGroundModel>(),
+                                  std::make_unique<RayleighFading>()};
+  ASSERT_FALSE(mobile.meansCacheable());
+
+  for (int t = 0; t <= 120; t += 30) {
+    simulator.schedule(SimTime::seconds(std::int64_t{t}), [&] {
+      const SimTime now = simulator.now();
+      std::vector<Vec2> frozen;
+      for (net::NodeId n = 0; n < 3; ++n) {
+        frozen.push_back(mobilityPtr->positionAt(n, now));
+      }
+      const GeometricLinkModel still{PhyParams{}, frozen,
+                                     std::make_unique<TwoRayGroundModel>(),
+                                     std::make_unique<RayleighFading>()};
+      // Identical Rng streams: the draws must align sample for sample.
+      Rng liveRng{99};
+      Rng frozenRng{99};
+      for (int draw = 0; draw < 8; ++draw) {
+        EXPECT_EQ(mobile.sampleRxPowerW(0, 1, liveRng),
+                  still.sampleRxPowerW(0, 1, frozenRng))
+            << "t=" << t << " draw=" << draw;
+      }
+      EXPECT_EQ(mobile.meanRxPowerW(1, 2), still.meanRxPowerW(1, 2));
+      EXPECT_EQ(mobile.distanceM(1, 2), still.distanceM(1, 2));
+    });
+  }
+  simulator.run();
+}
+
+TEST(MobileLinkModel, ChannelCountsLiveVsCachedRebuilds) {
+  // A mobile scenario must take the live-rebuild path on every refresh
+  // (no frozen per-pair means), a static one the cached path; the split
+  // counters always sum to the rebuild total.
+  auto runAtSpeed = [](double speed) {
+    harness::ScenarioConfig config;
+    config.nodeCount = 8;
+    config.areaWidthM = 300.0;
+    config.areaHeightM = 300.0;
+    config.mobilityMaxSpeedMps = speed;
+    config.rayleighFading = false;
+    config.duration = 20_s;
+    config.seed = 13;
+    config.traffic.start = 2_s;
+    config.traffic.stop = 19_s;
+    config.groups = {harness::GroupSpec{1, {0}, {5, 6}}};
+    harness::Simulation sim{std::move(config)};
+    sim.run();
+    return sim.channel().stats();
+  };
+
+  const ChannelStats moving = runAtSpeed(5.0);
+  EXPECT_GT(moving.liveRebuilds, 0u);
+  EXPECT_EQ(moving.cachedRebuilds, 0u);
+  EXPECT_EQ(moving.reachabilityRebuilds,
+            moving.cachedRebuilds + moving.liveRebuilds);
+
+  const ChannelStats parked = runAtSpeed(0.0);
+  EXPECT_GT(parked.cachedRebuilds, 0u);
+  EXPECT_EQ(parked.liveRebuilds, 0u);
+  EXPECT_EQ(parked.reachabilityRebuilds,
+            parked.cachedRebuilds + parked.liveRebuilds);
+}
+
 TEST(MobilityEndToEnd, MobilityErodesMetricFreshness) {
   // Static vs fast-moving mesh under SPP: the probe windows go stale as
   // neighbors churn, so the metric's PDR drops with speed.
