@@ -1,0 +1,51 @@
+// Engineering bench — the simulator past the paper's 50-node scale.
+//
+// The paper stops at 50 nodes (Section 4.1); the spatial channel index
+// (DESIGN §8.5) exists so the same per-node density can be pushed to 500+
+// nodes without the O(n²) reachability build dominating. This bench runs
+// ODMRP and ODMRP_SPP at 50 / 200 / 500 nodes with the area scaled to
+// keep the paper's 50 nodes/km² density, and reports protocol metrics so
+// a sane PDR at 500 nodes is part of the perf story, not assumed.
+//
+// Quick by default (1 topology × 40 s). MESH_BENCH_* overrides apply;
+// MESH_SPATIAL_INDEX=off reruns the sweep on the O(n²) path for an
+// end-to-end A/B.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+  const harness::BenchOptions options = benchOptions(argc, argv, 1, 40);
+
+  const std::size_t nodeCounts[] = {50, 200, 500};
+
+  std::printf("Engineering — ODMRP vs ODMRP_SPP at constant density, scaled node count\n");
+  std::printf("%6s  %10s  %12s  %10s  %12s\n", "nodes", "ODMRP pdr",
+              "ODMRP thrpt", "SPP pdr", "SPP thrpt");
+  for (const std::size_t n : nodeCounts) {
+    const auto rows = harness::runProtocolComparison(
+        {harness::ProtocolSpec::original(),
+         harness::ProtocolSpec::with(metrics::MetricKind::Spp)},
+        [n](std::uint64_t seed) {
+          harness::ScenarioConfig config = harness::scaledSimulationScenario(n);
+          config.seed = seed;
+          config.traffic.start = SimTime::seconds(std::int64_t{5});
+          Rng groupRng = Rng{seed}.fork("groups");
+          config.groups =
+              harness::makeRandomGroups(config.nodeCount, 2, 10, 1, groupRng);
+          return config;
+        },
+        options);
+    std::printf("%6zu  %10.4f  %10.0f b/s  %10.4f  %10.0f b/s\n", n,
+                rows[0].pdr.mean(), rows[0].throughputBps.mean(),
+                rows[1].pdr.mean(), rows[1].throughputBps.mean());
+  }
+  printPaperReference(
+      "Section 4.1 (scale extension)",
+      "the paper's density is 50 nodes/km²; at 500 nodes the mesh spans "
+      "~3.2 km × 3.2 km and multicast routes cross many more hops, so PDR "
+      "below the 50-node value is expected — it must stay well above zero");
+  return 0;
+}

@@ -44,8 +44,9 @@ void FaultInjector::apply(const FaultEvent& event) {
       ++stats_.crashes;
       phy::Radio* radio = channel_.findRadio(event.node);
       MESH_REQUIRE(radio != nullptr);
+      // setFailed notifies the channel itself (invalidateRadio), which
+      // rebuilds only the affected reachability rows.
       radio->setFailed(true);
-      channel_.invalidateReachability();
       break;
     }
     case trace::FaultKind::LinkBlackout:
@@ -96,7 +97,6 @@ void FaultInjector::clear(const FaultEvent& event) {
       phy::Radio* radio = channel_.findRadio(event.node);
       MESH_REQUIRE(radio != nullptr);
       radio->setFailed(false);
-      channel_.invalidateReachability();
       break;
     }
     case trace::FaultKind::LinkBlackout:

@@ -207,6 +207,12 @@ class Parser {
       config.ensureConnected = *b;
       return {};
     }
+    if (key == "spatial_index") {
+      const auto b = boolean(value);
+      if (!b) return "spatial_index must be a boolean";
+      config.spatialIndex = *b;
+      return {};
+    }
     return "unknown [scenario] key '" + key + "'";
   }
 

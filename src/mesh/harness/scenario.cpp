@@ -1,6 +1,7 @@
 #include "mesh/harness/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <stdexcept>
@@ -22,6 +23,18 @@ ScenarioConfig paperSimulationScenario() {
   config.traffic.packetsPerSecond = 20.0;
   config.traffic.start = SimTime::seconds(std::int64_t{30});
   config.traffic.stop = SimTime::seconds(std::int64_t{400});
+  return config;
+}
+
+ScenarioConfig scaledSimulationScenario(std::size_t nodeCount) {
+  MESH_REQUIRE(nodeCount > 0);
+  ScenarioConfig config = paperSimulationScenario();
+  config.nodeCount = nodeCount;
+  // Constant density (50 nodes per km²): area grows linearly with n.
+  const double side =
+      1000.0 * std::sqrt(static_cast<double>(nodeCount) / 50.0);
+  config.areaWidthM = side;
+  config.areaHeightM = side;
   return config;
 }
 
@@ -156,6 +169,7 @@ void Simulation::build() {
 
   channel_ = std::make_unique<phy::Channel>(simulator_, std::move(linkModel),
                                             rng.fork("channel"));
+  channel_->setSpatialIndex(config_.spatialIndex);
   if (trace_ != nullptr) channel_->setTrace(trace_.get());
   if (config_.mobilityMaxSpeedMps > 0.0) {
     // Fading headroom gives the cache ~3.4x distance slack over the CS

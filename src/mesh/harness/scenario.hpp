@@ -86,6 +86,12 @@ struct ScenarioConfig {
   // bench_mobility extension explores.
   double mobilityMaxSpeedMps{0.0};
 
+  // Use the channel's uniform-grid reachability path (DESIGN §8.5). Results
+  // are bit-identical either way; off restores the O(n²) pair scan for
+  // A/B timing and regression bisection. The MESH_SPATIAL_INDEX environment
+  // variable overrides this knob.
+  bool spatialIndex{true};
+
   std::vector<GroupSpec> groups;
   app::CbrConfig traffic;  // group id is overridden per GroupSpec
 
@@ -120,6 +126,13 @@ struct ScenarioConfig {
 // Convenience: the paper's Section 4.1 base scenario (before choosing a
 // protocol, seed, or source count).
 ScenarioConfig paperSimulationScenario();
+
+// The paper scenario scaled to `nodeCount` nodes at the paper's density:
+// the area side grows as 1000 m × sqrt(n / 50), so the 250 m disk graph
+// stays connected with the same probability per placement attempt and
+// per-node degree matches the 50-node baseline. The scale benches and the
+// 500-node robustness tests build on this.
+ScenarioConfig scaledSimulationScenario(std::size_t nodeCount);
 
 // Picks `groupCount` groups of `membersPerGroup` members and
 // `sourcesPerGroup` sources (sources are distinct from members, like the

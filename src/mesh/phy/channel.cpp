@@ -1,12 +1,34 @@
 #include "mesh/phy/channel.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+
 #include "mesh/common/log.hpp"
 #include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::phy {
 namespace {
 constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+// Grid cells at half the reach radius: a disk query then touches ~pi*(R/c+1)²
+// ≈ 28 cells whose union hugs the disk, instead of a 3×3 box with ~2.9× the
+// disk's area. Finer cells prune better but cost more bucket iteration.
+constexpr double kCellsPerReachRadius = 2.0;
+
+std::optional<bool> parseSpatialIndexEnv() {
+  const char* raw = std::getenv("MESH_SPATIAL_INDEX");
+  if (raw == nullptr) return std::nullopt;
+  const std::string_view v{raw};
+  if (v == "off" || v == "0" || v == "false") return false;
+  if (v == "on" || v == "1" || v == "true") return true;
+  MESH_WARN("phy", "ignoring unrecognized MESH_SPATIAL_INDEX value '%s'", raw);
+  return std::nullopt;
 }
+}  // namespace
 
 Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel,
                  Rng rng, double fadingHeadroom)
@@ -14,13 +36,18 @@ Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel
       linkModel_{std::move(linkModel)},
       rng_{rng},
       fadingHeadroom_{fadingHeadroom},
-      cacheMeans_{linkModel_ != nullptr && linkModel_->meansCacheable()} {
+      cacheMeans_{linkModel_ != nullptr && linkModel_->meansCacheable()},
+      spatialEnvOverride_{parseSpatialIndexEnv()} {
   MESH_REQUIRE(linkModel_ != nullptr);
   MESH_REQUIRE(fadingHeadroom_ >= 1.0);
 }
 
 void Channel::attach(Radio& radio) {
   MESH_REQUIRE(!attachClosed_);
+  const auto [it, inserted] = nodeIndex_.emplace(
+      radio.nodeId(), static_cast<std::uint32_t>(radios_.size()));
+  MESH_REQUIRE(inserted);  // one radio per node id
+  (void)it;
   radios_.push_back(&radio);
   radio.attachChannel(this, radios_.size() - 1);
 }
@@ -38,40 +65,137 @@ void Channel::clearLinkLoss(net::NodeId a, net::NodeId b) {
 }
 
 Radio* Channel::findRadio(net::NodeId node) const {
-  for (Radio* radio : radios_) {
-    if (radio->nodeId() == node) return radio;
+  const auto it = nodeIndex_.find(node);
+  return it == nodeIndex_.end() ? nullptr : radios_[it->second];
+}
+
+void Channel::invalidateReachability() {
+  if (!reachabilityBuilt_) {
+    // A full rebuild is already pending; this invalidation rides along.
+    ++stats_.coalescedInvalidations;
+    return;
   }
-  return nullptr;
+  reachabilityBuilt_ = false;
+  // A full rebuild re-derives every row, so pending per-radio work is
+  // absorbed rather than coalesced (it still happens — just all at once).
+  dirtyRadios_.clear();
+}
+
+void Channel::invalidateRadio(net::NodeId node) {
+  if (!reachabilityBuilt_) {
+    ++stats_.coalescedInvalidations;
+    return;
+  }
+  // Incremental row rebuilds are exact only when build-time positions are
+  // still authoritative: static geometry (cacheMeans_) indexed by the grid.
+  // Mobility and non-geometric models fall back to a full rebuild (their
+  // periodic refresh / full scan already bounds the cost).
+  const auto it = nodeIndex_.find(node);
+  if (!spatialActive_ || !cacheMeans_ || it == nodeIndex_.end()) {
+    invalidateReachability();
+    return;
+  }
+  const std::uint32_t index = it->second;
+  if (std::find(dirtyRadios_.begin(), dirtyRadios_.end(), index) !=
+      dirtyRadios_.end()) {
+    ++stats_.coalescedInvalidations;  // already dirty: same rows, one pass
+    return;
+  }
+  dirtyRadios_.push_back(index);
+}
+
+void Channel::prepareSpatialIndex() {
+  spatialActive_ = false;
+  const bool wanted =
+      spatialEnvOverride_.has_value() ? *spatialEnvOverride_ : spatialKnob_;
+  if (!wanted || !linkModel_->spatiallyIndexable()) return;
+
+  // The pruning power floor must be valid for every transmitter: use the
+  // smallest carrier-sense threshold across radios (they are uniform in
+  // practice) divided by the fading headroom — exactly the weakest mean
+  // power buildRow's predicate can accept.
+  double minCs = std::numeric_limits<double>::infinity();
+  for (const Radio* radio : radios_) {
+    minCs = std::min(minCs, radio->params().csThresholdW);
+  }
+  const double floorW = minCs / fadingHeadroom_;
+  if (!(floorW > 0.0) || !std::isfinite(floorW)) return;
+  const double reach = linkModel_->maxReachRadiusM(floorW);
+  if (!std::isfinite(reach) || reach <= 0.0) return;
+
+  reachRadiusM_ = reach;
+  gridPositions_.resize(radios_.size());
+  for (std::size_t i = 0; i < radios_.size(); ++i) {
+    gridPositions_[i] = linkModel_->nodePosition(radios_[i]->nodeId());
+  }
+  grid_.build(gridPositions_, reach / kCellsPerReachRadius);
+  spatialActive_ = true;
+}
+
+void Channel::buildRow(std::size_t tx) {
+  auto& row = reachable_[tx];
+  row.clear();
+  // A failed radio keeps an empty receiver set (it cannot radiate) and
+  // never appears in anyone else's set (it cannot hear). Radio::setFailed
+  // invalidates the affected rows so this stays current.
+  if (radios_[tx]->failed()) return;
+  const double csThreshold = radios_[tx]->params().csThresholdW;
+  const net::NodeId txNode = radios_[tx]->nodeId();
+
+  const auto consider = [&](std::size_t rx) {
+    if (rx == tx || radios_[rx]->failed()) return;
+    const double mean = linkModel_->meanRxPowerW(txNode, radios_[rx]->nodeId());
+    if (mean * fadingHeadroom_ < csThreshold) return;
+    if (cacheMeans_) {
+      const double distance =
+          linkModel_->distanceM(txNode, radios_[rx]->nodeId());
+      row.push_back(CachedLink{static_cast<std::uint32_t>(rx), mean,
+                               SimTime::seconds(distance / kSpeedOfLight)});
+    } else {
+      // Mobility: the per-transmission loop re-queries power and distance
+      // live, so deriving them here would be dead work — record only the
+      // receiver index.
+      row.push_back(
+          CachedLink{static_cast<std::uint32_t>(rx), 0.0, SimTime::zero()});
+    }
+  };
+
+  if (spatialActive_) {
+    // Grid candidates are a conservative superset of everything the exact
+    // predicate can accept. Scattering them into a bitmap and walking its
+    // set bits restores global ascending index order in O(k + n/64) —
+    // measurably cheaper than a per-row sort — so the row, and every
+    // downstream RNG draw, is bit-identical to the full scan below.
+    rowScratch_.clear();
+    grid_.candidatesWithin(gridPositions_[tx], reachRadiusM_, rowScratch_);
+    rowMask_.assign((radios_.size() + 63) / 64, 0);
+    for (const std::uint32_t rx : rowScratch_) {
+      rowMask_[rx >> 6] |= std::uint64_t{1} << (rx & 63);
+    }
+    // Cell-level pruning leaves corner slop; the conservative-radius
+    // contract (mean >= floor implies distance <= reach) makes a squared-
+    // distance precheck exact, so those candidates cost one multiply
+    // instead of a virtual propagation evaluation.
+    const Vec2 txPos = gridPositions_[tx];
+    const double reach2 = reachRadiusM_ * reachRadiusM_;
+    for (std::size_t w = 0; w < rowMask_.size(); ++w) {
+      for (std::uint64_t bits = rowMask_[w]; bits != 0; bits &= bits - 1) {
+        const auto rx =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+        if (txPos.distanceSquaredTo(gridPositions_[rx]) > reach2) continue;
+        consider(rx);
+      }
+    }
+  } else {
+    for (std::size_t rx = 0; rx < radios_.size(); ++rx) consider(rx);
+  }
 }
 
 void Channel::buildReachability() {
-  reachable_.assign(radios_.size(), {});
-  for (std::size_t tx = 0; tx < radios_.size(); ++tx) {
-    // A failed radio keeps an empty receiver set (it cannot radiate) and
-    // never appears in anyone else's set (it cannot hear). The injector
-    // invalidates the cache on every fail/recover so this stays current.
-    if (radios_[tx]->failed()) continue;
-    const double csThreshold = radios_[tx]->params().csThresholdW;
-    for (std::size_t rx = 0; rx < radios_.size(); ++rx) {
-      if (rx == tx || radios_[rx]->failed()) continue;
-      const double mean = linkModel_->meanRxPowerW(radios_[tx]->nodeId(),
-                                                   radios_[rx]->nodeId());
-      if (mean * fadingHeadroom_ < csThreshold) continue;
-      if (cacheMeans_) {
-        const double distance =
-            linkModel_->distanceM(radios_[tx]->nodeId(), radios_[rx]->nodeId());
-        reachable_[tx].push_back(
-            CachedLink{static_cast<std::uint32_t>(rx), mean,
-                       SimTime::seconds(distance / kSpeedOfLight)});
-      } else {
-        // Mobility: the per-transmission loop re-queries power and distance
-        // live, so deriving them here would be dead work — record only the
-        // receiver index.
-        reachable_[tx].push_back(CachedLink{static_cast<std::uint32_t>(rx),
-                                            0.0, SimTime::zero()});
-      }
-    }
-  }
+  prepareSpatialIndex();
+  reachable_.resize(radios_.size());
+  for (std::size_t tx = 0; tx < radios_.size(); ++tx) buildRow(tx);
+  dirtyRadios_.clear();  // a full build supersedes any pending row work
   reachabilityBuilt_ = true;
   attachClosed_ = true;
   reachabilityBuiltAt_ = simulator_.now();
@@ -81,6 +205,27 @@ void Channel::buildReachability() {
   } else {
     ++stats_.liveRebuilds;
   }
+}
+
+void Channel::applyDirtyRadios() {
+  MESH_ASSERT(spatialActive_ && cacheMeans_);
+  // The affected rows are exactly: each dirty radio's own row, plus every
+  // row whose transmitter lies within the reach radius of a dirty radio —
+  // no other row can gain or lose the dirty radio (pairs beyond the reach
+  // radius always fail the mean-power predicate). Positions are the
+  // build-time snapshot, which static geometry keeps authoritative.
+  std::vector<std::uint32_t> affected;
+  for (const std::uint32_t dirty : dirtyRadios_) {
+    affected.push_back(dirty);
+    grid_.candidatesWithin(gridPositions_[dirty], reachRadiusM_, affected);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (const std::uint32_t row : affected) buildRow(row);
+  dirtyRadios_.clear();
+  ++stats_.incrementalRebuilds;
+  stats_.rowsRebuilt += affected.size();
 }
 
 bool Channel::lossSuppressed(net::NodeId tx, net::NodeId rx,
@@ -111,7 +256,11 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
       simulator_.now() - reachabilityBuiltAt_ >= refreshInterval_) {
     reachabilityBuilt_ = false;  // stale under mobility: rebuild below
   }
-  if (!reachabilityBuilt_) buildReachability();
+  if (!reachabilityBuilt_) {
+    buildReachability();
+  } else if (!dirtyRadios_.empty()) {
+    applyDirtyRadios();
+  }
   ++stats_.transmissions;
 
   const std::size_t txIndex = sender.channelIndex();

@@ -18,9 +18,20 @@
 // zero virtual LinkModel calls except the per-frame sampling hook
 // (LinkModel::samplePowerGivenMeanW) — which keeps RNG draw order, and
 // therefore every result, bit-identical to the uncached path.
+//
+// Reachability builds use a uniform spatial grid (phy/spatial_grid) when
+// the link model exposes geometry: instead of testing all n² ordered
+// pairs, each transmitter's row enumerates only grid candidates within
+// the model's conservative maximum reach radius, then applies the exact
+// mean-power predicate in ascending radio-index order — so the rows (and
+// every downstream RNG draw) stay bit-identical to the full scan while
+// build cost drops to O(n·k). Single-radio invalidations (fail/recover)
+// rebuild only the affected rows. MESH_SPATIAL_INDEX=off restores the
+// full-scan path.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +41,7 @@
 #include "mesh/phy/frame.hpp"
 #include "mesh/phy/link_model.hpp"
 #include "mesh/phy/radio.hpp"
+#include "mesh/phy/spatial_grid.hpp"
 #include "mesh/sim/simulator.hpp"
 
 namespace mesh::phy {
@@ -47,6 +59,14 @@ struct ChannelStats {
   std::uint64_t liveRebuilds{0};
   // Deliveries suppressed by a fault-injected link blackout or loss ramp.
   std::uint64_t faultSuppressedDeliveries{0};
+  // Incremental reachability passes (applyDirtyRadios) and the rows they
+  // re-derived. Deliberately NOT folded into reachabilityRebuilds, which
+  // keeps its full-rebuild meaning (== cachedRebuilds + liveRebuilds).
+  std::uint64_t incrementalRebuilds{0};
+  std::uint64_t rowsRebuilt{0};
+  // Invalidations that found a rebuild already pending (or the same radio
+  // already dirty) and therefore cost nothing — the churn-coalescing win.
+  std::uint64_t coalescedInvalidations{0};
 };
 
 class Channel {
@@ -83,12 +103,39 @@ class Channel {
   void overrideLinkLoss(net::NodeId a, net::NodeId b, double loss);
   void clearLinkLoss(net::NodeId a, net::NodeId b);
 
-  // Drop the reachability/link cache; the next transmission rebuilds it.
-  // The fault injector calls this when a radio fails or recovers, so the
-  // cached receiver sets track the injected topology.
-  void invalidateReachability() { reachabilityBuilt_ = false; }
+  // Drop the reachability/link cache; the next transmission rebuilds every
+  // row. When a rebuild is already pending the call coalesces (counted in
+  // ChannelStats::coalescedInvalidations) and a pending dirty set is
+  // absorbed by the full rebuild.
+  void invalidateReachability();
 
-  // Linear scan by node id — fault-application time only, never per frame.
+  // Invalidate only the rows `node` can affect. Radio::setFailed calls
+  // this on every fail/recover, so the cached receiver sets track the
+  // injected topology without the fault injector having to know about the
+  // cache. With the spatial index active on a static-geometry model, the
+  // next transmission rebuilds just the rows within the reach radius of
+  // `node` (an exact subset — see DESIGN §8.5); otherwise this degrades to
+  // invalidateReachability(). Repeat invalidations of an already-dirty
+  // radio coalesce.
+  void invalidateRadio(net::NodeId node);
+
+  // Force a full rebuild immediately (benches time it in isolation; tests
+  // use it to pin rebuild points). Also flushes any pending dirty set.
+  void rebuildReachabilityNow() { buildReachability(); }
+
+  // Enable/disable the spatial-index fast path for reachability builds and
+  // incremental invalidation. Takes effect at the next (re)build. The
+  // MESH_SPATIAL_INDEX environment variable ("on"/"off", "1"/"0") wins
+  // over this knob — an escape hatch for bisecting perf regressions.
+  void setSpatialIndex(bool enabled) { spatialKnob_ = enabled; }
+
+  // True when the last reachability build actually used the grid (model
+  // indexable, knob/env on, finite reach radius). Meaningful after the
+  // first build only.
+  bool spatialIndexActive() const { return spatialActive_; }
+
+  // O(1) hash lookup by node id — fault-application time only, never per
+  // frame.
   Radio* findRadio(net::NodeId node) const;
 
   // Optional drop records for fault-suppressed deliveries.
@@ -109,6 +156,15 @@ class Channel {
   };
 
   void buildReachability();
+  // Decide whether the grid path applies and (re)build the grid over a
+  // position snapshot. Sets spatialActive_.
+  void prepareSpatialIndex();
+  // Derive one transmitter's receiver row — via grid candidates when
+  // spatialActive_, else the full O(n) scan. Bit-identical results either
+  // way (superset contract + exact predicate + ascending-index order).
+  void buildRow(std::size_t tx);
+  // Rebuild exactly the rows a dirty radio can appear in.
+  void applyDirtyRadios();
   // Returns true when a loss override says this delivery must be
   // suppressed (drawing from rng_ for partial loss rates).
   bool lossSuppressed(net::NodeId tx, net::NodeId rx, const PhyFramePtr& frame);
@@ -120,7 +176,20 @@ class Channel {
   bool cacheMeans_{true};  // linkModel_->meansCacheable(), hoisted
 
   std::vector<Radio*> radios_;                 // indexed by attach order
+  std::unordered_map<net::NodeId, std::uint32_t> nodeIndex_;  // id -> index
   std::vector<std::vector<CachedLink>> reachable_;  // per-radio receiver sets
+
+  // --- spatial index state (see DESIGN §8.5) ------------------------------
+  bool spatialKnob_{true};
+  std::optional<bool> spatialEnvOverride_;  // MESH_SPATIAL_INDEX, parsed once
+  bool spatialActive_{false};               // last build used the grid
+  double reachRadiusM_{0.0};                // conservative pruning radius
+  SpatialGrid grid_;
+  std::vector<Vec2> gridPositions_;         // build-time position snapshot
+  std::vector<std::uint32_t> dirtyRadios_;  // pending row invalidations
+  std::vector<std::uint32_t> rowScratch_;   // candidate buffer for buildRow
+  std::vector<std::uint64_t> rowMask_;      // candidate bitmap: ascending
+                                            // iteration without a sort
   // Directed-pair loss overrides; overrideLinkLoss installs both
   // directions. Empty in fault-free runs (one .empty() test per tx).
   std::unordered_map<net::LinkKey, double, net::LinkKeyHash> linkLoss_;

@@ -12,6 +12,7 @@
 // (radio, MAC, ODMRP, metrics) run unchanged on either substrate, exactly
 // as the paper runs the same protocol code in Glomosim and on the testbed.
 
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -60,6 +61,33 @@ class LinkModel {
     (void)meanPowerW;
     return sampleRxPowerW(from, to, rng);
   }
+
+  // --- spatial index support (Channel's O(k) reachability path) ----------
+  // A geometric model exposes per-node positions plus a conservative
+  // maximum reach radius so the channel can replace its O(n²) pair scan
+  // with a uniform-grid candidate enumeration (phy/spatial_grid). The
+  // contract is pruning-only and must be conservative: for ANY pair with
+  // meanRxPowerW(from, to) >= minMeanPowerW, the distance between
+  // nodePosition(from) and nodePosition(to) must be at most
+  // maxReachRadiusM(minMeanPowerW). Candidates still pass through the
+  // exact meanRxPowerW predicate, so an over-generous radius costs speed,
+  // never correctness. Models without meaningful geometry (explicit loss
+  // matrices, the testbed emulation) decline and the channel keeps the
+  // full scan.
+  virtual bool spatiallyIndexable() const { return false; }
+  // Valid only when spatiallyIndexable(). For clock-dependent geometry
+  // (mobility) this is the position *now* — the channel snapshots it at
+  // reachability-build time, so candidate queries between rebuilds see a
+  // geometry consistent with the rows they prune.
+  virtual Vec2 nodePosition(net::NodeId node) const {
+    (void)node;
+    return {};
+  }
+  // May return +infinity (no pruning possible); see contract above.
+  virtual double maxReachRadiusM(double minMeanPowerW) const {
+    (void)minMeanPowerW;
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 class GeometricLinkModel final : public LinkModel {
@@ -95,6 +123,12 @@ class GeometricLinkModel final : public LinkModel {
     // Same product as sampleRxPowerW with the cached mean substituted for
     // the propagation recomputation: identical draws, identical bits.
     return meanPowerW * sampleFadingGain(rng);
+  }
+
+  bool spatiallyIndexable() const override { return true; }
+  Vec2 nodePosition(net::NodeId node) const override { return position(node); }
+  double maxReachRadiusM(double minMeanPowerW) const override {
+    return maxRangeForMeanPowerM(*propagation_, params_, minMeanPowerW);
   }
 
   std::size_t nodeCount() const { return positions_.size(); }
@@ -149,6 +183,14 @@ class MobileGeometricLinkModel final : public LinkModel {
   // Positions move between reachability rebuilds: power and delay must be
   // sampled live per transmission, never frozen into the link cache.
   bool meansCacheable() const override { return false; }
+
+  bool spatiallyIndexable() const override { return true; }
+  Vec2 nodePosition(net::NodeId node) const override {
+    return mobility_->positionAt(node, simulator_.now());
+  }
+  double maxReachRadiusM(double minMeanPowerW) const override {
+    return maxRangeForMeanPowerM(*propagation_, params_, minMeanPowerW);
+  }
 
   const MobilityModel& mobility() const { return *mobility_; }
 

@@ -41,6 +41,18 @@ class TwoRayGroundModel final : public PropagationModel {
   static double atDistance(const PhyParams& params, double distanceM);
 };
 
+// Largest distance at which `model` can still deliver mean power >=
+// `minPowerW`. All provided models are monotone non-increasing in
+// distance, so a doubling search plus bisection brackets the cutoff; the
+// returned value is the bracket's *upper* bound (mean power strictly
+// below `minPowerW` there), which makes it safe to use as a pruning
+// radius: every pair at or above the power floor is strictly closer.
+// Returns +infinity when the floor is never crossed within `maxM`
+// (pruning impossible; callers fall back to exhaustive scans).
+double maxRangeForMeanPowerM(const PropagationModel& model,
+                             const PhyParams& params, double minPowerW,
+                             double maxM = 1e7);
+
 // Log-distance path loss: Friis at reference distance d0, then d^-n.
 class LogDistanceModel final : public PropagationModel {
  public:

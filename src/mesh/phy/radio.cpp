@@ -36,6 +36,11 @@ void Radio::setFailed(bool failed) {
   failed_ = failed;
   // An in-flight own transmission is not truncated: its energy is already
   // scheduled at every receiver. Crash granularity is one frame.
+  // The channel's cached receiver sets mention this radio; tell it so the
+  // affected rows are rebuilt before the next transmission. Self-reporting
+  // here (rather than in the fault injector) keeps the cache correct for
+  // every setFailed caller.
+  if (channel_ != nullptr) channel_->invalidateRadio(node_);
   notifyMediumIfChanged();
 }
 

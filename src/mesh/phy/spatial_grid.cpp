@@ -1,0 +1,105 @@
+#include "mesh/phy/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesh::phy {
+
+void SpatialGrid::build(const std::vector<Vec2>& positions, double cellSizeM) {
+  MESH_REQUIRE(cellSizeM > 0.0);
+  MESH_REQUIRE(!positions.empty());
+  cellSizeM_ = cellSizeM;
+
+  Vec2 lo = positions[0];
+  Vec2 hi = positions[0];
+  for (const Vec2& p : positions) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  origin_ = lo;
+  // floor() of the max corner is a valid column/row (a point exactly on
+  // the bounding-box edge must land inside), hence the +1.
+  cols_ = static_cast<std::size_t>(
+              std::floor((hi.x - lo.x) / cellSizeM_)) + 1;
+  rows_ = static_cast<std::size_t>(
+              std::floor((hi.y - lo.y) / cellSizeM_)) + 1;
+
+  cellOf_.resize(positions.size());
+  cellStart_.assign(cols_ * rows_ + 1, 0);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::size_t cell = cellIndexOf(positions[i]);
+    cellOf_[i] = static_cast<std::uint32_t>(cell);
+    ++cellStart_[cell + 1];
+  }
+  for (std::size_t c = 1; c < cellStart_.size(); ++c) {
+    cellStart_[c] += cellStart_[c - 1];
+  }
+  // Counting sort, stable in radio-index order: each cell's bucket lists
+  // its radios ascending, which downstream sorts rely on being cheap.
+  bucketed_.resize(positions.size());
+  std::vector<std::uint32_t> next(cellStart_.begin(), cellStart_.end() - 1);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    bucketed_[next[cellOf_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t SpatialGrid::cellIndexOf(Vec2 p) const {
+  // Positions outside the bounding box (possible only for query centers,
+  // never for built radios) are clamped by the caller; built positions
+  // always floor() into range.
+  const auto cx = static_cast<std::size_t>(
+      std::floor((p.x - origin_.x) / cellSizeM_));
+  const auto cy = static_cast<std::size_t>(
+      std::floor((p.y - origin_.y) / cellSizeM_));
+  MESH_ASSERT(cx < cols_ && cy < rows_);
+  return cy * cols_ + cx;
+}
+
+void SpatialGrid::candidatesWithin(Vec2 center, double radiusM,
+                                   std::vector<std::uint32_t>& out) const {
+  MESH_REQUIRE(built());
+  MESH_REQUIRE(radiusM >= 0.0);
+  // Cell ranges covering [center - r, center + r], clamped to the grid.
+  // floor() on the raw offsets (which may be negative / past the edge)
+  // before clamping keeps boundary points conservative.
+  const auto clampCell = [](double raw, std::size_t count) {
+    if (raw < 0.0) return std::size_t{0};
+    const double f = std::floor(raw);
+    if (f >= static_cast<double>(count)) return count - 1;
+    return static_cast<std::size_t>(f);
+  };
+  const std::size_t cx0 =
+      clampCell((center.x - radiusM - origin_.x) / cellSizeM_, cols_);
+  const std::size_t cx1 =
+      clampCell((center.x + radiusM - origin_.x) / cellSizeM_, cols_);
+  const std::size_t cy0 =
+      clampCell((center.y - radiusM - origin_.y) / cellSizeM_, rows_);
+  const std::size_t cy1 =
+      clampCell((center.y + radiusM - origin_.y) / cellSizeM_, rows_);
+
+  const double radius2 = radiusM * radiusM;
+  for (std::size_t cy = cy0; cy <= cy1; ++cy) {
+    // Closest y of this cell row to the center (0 when the center's own
+    // row): cells entirely beyond the radius contribute nothing.
+    const double cellLoY = origin_.y + static_cast<double>(cy) * cellSizeM_;
+    const double dy = center.y < cellLoY ? cellLoY - center.y
+                      : center.y > cellLoY + cellSizeM_
+                          ? center.y - (cellLoY + cellSizeM_)
+                          : 0.0;
+    for (std::size_t cx = cx0; cx <= cx1; ++cx) {
+      const double cellLoX = origin_.x + static_cast<double>(cx) * cellSizeM_;
+      const double dx = center.x < cellLoX ? cellLoX - center.x
+                        : center.x > cellLoX + cellSizeM_
+                            ? center.x - (cellLoX + cellSizeM_)
+                            : 0.0;
+      if (dx * dx + dy * dy > radius2) continue;  // cell fully outside
+      const std::size_t cell = cy * cols_ + cx;
+      out.insert(out.end(), bucketed_.begin() + cellStart_[cell],
+                 bucketed_.begin() + cellStart_[cell + 1]);
+    }
+  }
+}
+
+}  // namespace mesh::phy

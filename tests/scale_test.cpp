@@ -1,0 +1,155 @@
+// 500-node determinism (robustness tier).
+//
+// The spatial channel index exists so the simulator can run 10× past the
+// paper's 50-node scale; this file pins down that the scale path is still
+// deterministic end to end:
+//  * the same 500-node scenario run twice in-process produces identical
+//    aggregates, event counts, and trace bytes;
+//  * a comparison sweep over 500-node topologies yields bit-identical
+//    aggregates and trace bytes at --jobs 1 and --jobs 4.
+//
+// Durations are short (a few simulated seconds) — the point is draw-order
+// and fold determinism at scale, not protocol performance. These tests run
+// under the `robustness` ctest label (minutes-scale budget).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mesh/harness/experiment.hpp"
+#include "mesh/harness/scenario.hpp"
+#include "mesh/metrics/metric.hpp"
+#include "mesh/runner/sweep.hpp"
+
+namespace mesh {
+namespace {
+
+using namespace mesh::time_literals;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A 500-node scenario kept short enough for a test: the paper's density
+// (area side scales with sqrt(n)), two groups, light traffic.
+harness::ScenarioConfig scaleScenario(std::uint64_t topologySeed) {
+  harness::ScenarioConfig config = harness::scaledSimulationScenario(500);
+  config.seed = topologySeed;
+  config.duration = 8_s;
+  config.traffic.payloadBytes = 256;
+  config.traffic.packetsPerSecond = 10.0;
+  config.traffic.start = 2_s;
+  config.traffic.stop = 8_s;
+  Rng groupRng = Rng{topologySeed}.fork("groups");
+  config.groups = harness::makeRandomGroups(config.nodeCount, 2, 10, 1, groupRng);
+  return config;
+}
+
+TEST(ScaleDeterminism, SameScenarioTwiceIsBitIdentical) {
+  const std::string dir = ::testing::TempDir();
+  const auto runOnce = [&](const std::string& tracePath) {
+    harness::ScenarioConfig config = scaleScenario(9001);
+    config.protocol = harness::ProtocolSpec::with(metrics::MetricKind::Spp);
+    config.tracePath = tracePath;
+    harness::Simulation sim{config};
+    const harness::RunResults results = sim.run();
+    EXPECT_TRUE(sim.channel().spatialIndexActive());
+    return results;
+  };
+
+  const std::string traceA = dir + "/scale_run_a.trace.jsonl";
+  const std::string traceB = dir + "/scale_run_b.trace.jsonl";
+  const harness::RunResults a = runOnce(traceA);
+  const harness::RunResults b = runOnce(traceB);
+
+  EXPECT_EQ(a.packetsSent, b.packetsSent);
+  EXPECT_EQ(a.expectedDeliveries, b.expectedDeliveries);
+  EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+  EXPECT_EQ(a.pdr, b.pdr);
+  EXPECT_EQ(a.throughputBps, b.throughputBps);
+  EXPECT_EQ(a.meanDelayS, b.meanDelayS);
+  EXPECT_EQ(a.probeBytesReceived, b.probeBytesReceived);
+  EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+
+  const std::string bytesA = slurp(traceA);
+  ASSERT_FALSE(bytesA.empty());
+  EXPECT_TRUE(bytesA == slurp(traceB)) << "500-node traces diverged";
+  std::remove(traceA.c_str());
+  std::remove(traceB.c_str());
+
+  // The run exercised real traffic at scale.
+  EXPECT_GT(a.packetsSent, 50u);
+  EXPECT_GT(a.packetsDelivered, 0u);
+}
+
+TEST(ScaleDeterminism, SweepAggregatesAndTracesMatchAcrossJobCounts) {
+  const std::vector<harness::ProtocolSpec> protocols = {
+      harness::ProtocolSpec::original(),
+      harness::ProtocolSpec::with(metrics::MetricKind::Spp)};
+
+  const auto optionsFor = [](std::size_t jobs, const std::string& traceDir) {
+    harness::BenchOptions options;
+    options.topologies = 2;
+    options.duration = SimTime::zero();  // keep the scenario's 8 s
+    options.baseSeed = 9100;
+    options.verbose = false;
+    options.jobs = jobs;
+    options.traceDir = traceDir;
+    return options;
+  };
+
+  const std::string dirSerial = ::testing::TempDir() + "scale_jobs1";
+  const std::string dirParallel = ::testing::TempDir() + "scale_jobs4";
+  const runner::SweepReport serial = runner::runComparisonSweep(
+      protocols, scaleScenario, optionsFor(1, dirSerial), nullptr);
+  const runner::SweepReport parallel = runner::runComparisonSweep(
+      protocols, scaleScenario, optionsFor(4, dirParallel), nullptr);
+
+  ASSERT_EQ(serial.failures, 0u);
+  ASSERT_EQ(parallel.failures, 0u);
+  ASSERT_EQ(serial.records.size(), 4u);
+  ASSERT_EQ(parallel.records.size(), 4u);
+
+  // Aggregates fold bit-identically regardless of completion order.
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].name, parallel.rows[i].name);
+    EXPECT_EQ(serial.rows[i].pdr.mean(), parallel.rows[i].pdr.mean());
+    EXPECT_EQ(serial.rows[i].throughputBps.mean(),
+              parallel.rows[i].throughputBps.mean());
+    EXPECT_EQ(serial.rows[i].delayS.mean(), parallel.rows[i].delayS.mean());
+  }
+
+  // Per-run records line up cell by cell...
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const runner::RunRecord& s = serial.records[i];
+    const runner::RunRecord& p = parallel.records[i];
+    EXPECT_EQ(s.seed, p.seed);
+    EXPECT_EQ(s.protocolName, p.protocolName);
+    EXPECT_EQ(s.results.pdr, p.results.pdr);
+    EXPECT_EQ(s.results.packetsDelivered, p.results.packetsDelivered);
+    EXPECT_EQ(s.eventsExecuted, p.eventsExecuted);
+
+    // ...and the exported traces are byte-identical.
+    ASSERT_FALSE(s.tracePath.empty());
+    const std::string name =
+        s.tracePath.substr(s.tracePath.find_last_of('/') + 1);
+    const std::string serialBytes = slurp(dirSerial + "/" + name);
+    EXPECT_FALSE(serialBytes.empty());
+    EXPECT_TRUE(serialBytes == slurp(dirParallel + "/" + name))
+        << "trace " << name << " diverged between --jobs 1 and --jobs 4";
+    std::remove((dirSerial + "/" + name).c_str());
+    std::remove((dirParallel + "/" + name).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace mesh
