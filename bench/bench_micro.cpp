@@ -18,6 +18,8 @@
 #include "mesh/phy/fading.hpp"
 #include "mesh/phy/link_model.hpp"
 #include "mesh/phy/propagation.hpp"
+#include "mesh/rate/rate_controller.hpp"
+#include "mesh/rate/rate_table.hpp"
 #include "mesh/sim/event_queue.hpp"
 #include "mesh/sim/simulator.hpp"
 
@@ -165,6 +167,45 @@ void BM_NeighborTableProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborTableProbe);
+
+void BM_TxVectorAirtime(benchmark::State& state) {
+  // Per-frame rate-aware airtime lookup: the cost Mac80211::airtime adds
+  // over the legacy PhyParams path on every multi-rate transmission.
+  const rate::RateTable table =
+      rate::RateTable::forSet(rate::RateSetKind::DsssOfdm);
+  std::uint8_t code = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.frameAirtime(540, code));
+    code = static_cast<std::uint8_t>(code % table.size() + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxVectorAirtime);
+
+void BM_MinstrelDecision(benchmark::State& state) {
+  // Worst-case Minstrel broadcast pick: every feedback dirties the cache,
+  // so each dataVector() call recomputes the bitrate × coverage-quantile
+  // argmax over a warm 10-neighbor × full-ladder state.
+  const rate::RateTable table =
+      rate::RateTable::forSet(rate::RateSetKind::DsssOfdm);
+  rate::MinstrelController minstrel{table};
+  Rng rng{42};
+  for (net::NodeId n = 1; n <= 10; ++n) {
+    for (std::uint8_t c = 1; c <= table.size(); ++c) {
+      minstrel.onRateFeedback(n, c, rng.uniform());
+    }
+  }
+  net::NodeId neighbor = 1;
+  std::uint8_t code = 1;
+  for (auto _ : state) {
+    minstrel.onRateFeedback(neighbor, code, 0.9);
+    benchmark::DoNotOptimize(minstrel.dataVector().code);
+    neighbor = static_cast<net::NodeId>(neighbor % 10 + 1);
+    code = static_cast<std::uint8_t>(code % table.size() + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinstrelDecision);
 
 void BM_JoinQuerySerializeParse(benchmark::State& state) {
   odmrp::JoinQuery query;

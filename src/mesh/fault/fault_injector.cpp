@@ -34,7 +34,7 @@ void FaultInjector::traceFault(trace::EventType type,
                                const FaultEvent& event) {
   if (trace_ == nullptr) return;
   trace_->faultEvent(simulator_.now(), type, event.kind, event.node,
-                     event.peer);
+                     event.peer, event.lossRate, event.powerDbm);
 }
 
 void FaultInjector::apply(const FaultEvent& event) {

@@ -213,6 +213,20 @@ class Parser {
       config.spatialIndex = *b;
       return {};
     }
+    if (key == "rate_control") {
+      const std::string r = lower(value);
+      if (!rate::controlKindFromString(r.c_str(), config.rateControl)) {
+        return "rate_control must be fixed, minstrel, or genie";
+      }
+      return {};
+    }
+    if (key == "rate_set") {
+      const std::string r = lower(value);
+      if (!rate::rateSetFromString(r.c_str(), config.rateSet)) {
+        return "rate_set must be basic, 11b, or 11bg";
+      }
+      return {};
+    }
     return "unknown [scenario] key '" + key + "'";
   }
 

@@ -1,5 +1,7 @@
 #include "mesh/harness/mesh_node.hpp"
 
+#include <cmath>
+
 namespace mesh::harness {
 namespace {
 
@@ -43,6 +45,48 @@ MeshNode::MeshNode(sim::Simulator& simulator, phy::Channel& channel,
         simulator, id, config.odmrp, metric, neighbors, send, rng.fork("odmrp"));
   }
   channel.attach(radio_);
+  if (config.rateTable != nullptr) {
+    switch (config.rateControl) {
+      case rate::ControlKind::Fixed:
+        rateController_ =
+            std::make_unique<rate::FixedRateController>(*config.rateTable);
+        break;
+      case rate::ControlKind::Minstrel:
+        rateController_ =
+            std::make_unique<rate::MinstrelController>(*config.rateTable);
+        break;
+      case rate::ControlKind::Genie: {
+        // The oracle reads mean SNR straight from the channel's propagation
+        // model. Lazy (called at first rate decision, after every radio has
+        // attached), and never on the per-frame path.
+        phy::Channel* ch = &channel;
+        const net::NodeId self = id;
+        const auto snrDbTo = [ch, self](net::NodeId to) {
+          const phy::Radio* rx = ch->findRadio(to);
+          if (rx == nullptr) return -300.0;
+          const double meanW = ch->linkModel().meanRxPowerW(self, to);
+          if (meanW <= 0.0) return -300.0;
+          return 10.0 * std::log10(meanW / rx->params().noiseFloorW);
+        };
+        const auto neighborSnrs = [ch, self, snrDbTo] {
+          std::vector<std::pair<net::NodeId, double>> out;
+          for (const phy::Radio* rx : ch->radios()) {
+            if (rx->nodeId() == self) continue;
+            const double meanW =
+                ch->linkModel().meanRxPowerW(self, rx->nodeId());
+            if (meanW < rx->params().rxThresholdW) continue;
+            out.emplace_back(rx->nodeId(), snrDbTo(rx->nodeId()));
+          }
+          return out;
+        };
+        rateController_ = std::make_unique<rate::GenieController>(
+            *config.rateTable, neighborSnrs, snrDbTo);
+        break;
+      }
+    }
+    rateAware_ = config.rateControl != rate::ControlKind::Fixed;
+    mac_.setRateControl(rateController_.get(), config.rateTable);
+  }
   probes_ = std::make_unique<metrics::ProbeService>(
       simulator, id, probeConfigFor(metric), config.probeRateScale, table_,
       [this](net::PacketPtr packet) {
@@ -50,6 +94,11 @@ MeshNode::MeshNode(sim::Simulator& simulator, phy::Channel& channel,
       },
       rng.fork("probes"), config.adaptiveProbing,
       [this] { return radio_.busyTime(); });
+  // Only adaptive controllers ride the probe stream; Fixed stamps nothing,
+  // which keeps fixed-mode probe bytes identical to the legacy format.
+  if (rateController_ != nullptr && rateAware_) {
+    probes_->setRateController(rateController_.get());
+  }
   mac_.setReceiveCallback(
       [this](const net::PacketPtr& packet, net::NodeId from) {
         dispatch(packet, from);
@@ -124,6 +173,11 @@ void MeshNode::registerCounters(trace::CounterRegistry& registry) const {
   registry.add("phy.frames_missed_busy", &phy.framesMissedBusy);
   registry.add("phy.bytes_sent", &phy.bytesSent);
   registry.add("phy.bytes_delivered", &phy.bytesDelivered);
+  // Registered only on rate-aware runs so fixed-mode counter exports stay
+  // byte-identical to the pre-rate simulator.
+  if (rateAware_) {
+    registry.add("phy.frames_rate_corrupted", &phy.framesRateCorrupted);
+  }
 
   const mac::MacStats& mac = mac_.stats();
   registry.add("mac.enqueued", &mac.enqueued);

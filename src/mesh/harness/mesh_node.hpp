@@ -26,6 +26,7 @@
 #include "mesh/odmrp/odmrp.hpp"
 #include "mesh/phy/channel.hpp"
 #include "mesh/phy/radio.hpp"
+#include "mesh/rate/rate_controller.hpp"
 #include "mesh/sim/simulator.hpp"
 #include "mesh/trace/counter_registry.hpp"
 #include "mesh/trace/trace_collector.hpp"
@@ -51,6 +52,13 @@ struct MeshNodeConfig {
   double probeRateScale{1.0};
   // Optional load-aware probe throttling (Section 6 future work).
   metrics::AdaptiveProbing adaptiveProbing{};
+  // Rate adaptation. `rateTable` null (the default) keeps the node on the
+  // legacy single-rate path with zero rate-control code in the loop; the
+  // table must outlive the node (the scenario owns one per run). With a
+  // table and ControlKind::Fixed the full plumbing is installed but every
+  // frame still carries code 0 — the determinism anchor.
+  rate::ControlKind rateControl{rate::ControlKind::Fixed};
+  const rate::RateTable* rateTable{nullptr};
 };
 
 class MeshNode {
@@ -94,6 +102,8 @@ class MeshNode {
   const app::CbrSource* cbr() const { return cbr_ ? cbr_.get() : nullptr; }
   const NodeByteCounters& byteCounters() const { return bytes_; }
   const metrics::Metric* metric() const { return metric_; }
+  // Null when the node runs the legacy single-rate path.
+  rate::RateController* rateController() { return rateController_.get(); }
 
   // Publishes every layer's counters into the shared per-run taxonomy
   // (phy.* / mac.* / route.* / probe.* / app.*). The registry sums slots
@@ -109,6 +119,8 @@ class MeshNode {
   phy::Radio radio_;
   mac::Mac80211 mac_;
   metrics::NeighborTable table_;
+  std::unique_ptr<rate::RateController> rateController_;
+  bool rateAware_{false};  // controller present and not Fixed
   std::unique_ptr<metrics::ProbeService> probes_;
   std::unique_ptr<net::MulticastProtocol> protocol_;
   app::MulticastSink sink_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 
@@ -107,6 +108,21 @@ bool Simulation::diskGraphConnected(const std::vector<Vec2>& positions,
 void Simulation::build() {
   Rng rng{config_.seed};
 
+  // MESH_RATE_CONTROL overrides the configured controller — the same
+  // escape hatch pattern as MESH_SPATIAL_INDEX, for A/B runs without
+  // touching configs.
+  if (const char* env = std::getenv("MESH_RATE_CONTROL");
+      env != nullptr && *env != '\0') {
+    rate::ControlKind parsed;
+    if (rate::controlKindFromString(env, parsed)) {
+      config_.rateControl = parsed;
+    } else {
+      std::fprintf(stderr,
+                   "MESH_RATE_CONTROL=%s ignored (fixed/minstrel/genie)\n",
+                   env);
+    }
+  }
+
   if (!config_.tracePath.empty()) {
     trace_ = std::make_unique<trace::TraceCollector>(config_.tracePath +
                                                      ".spill");
@@ -171,6 +187,15 @@ void Simulation::build() {
                                             rng.fork("channel"));
   channel_->setSpatialIndex(config_.spatialIndex);
   if (trace_ != nullptr) channel_->setTrace(trace_.get());
+  // Rate subsystem: build the shared table when anything rate-aware is
+  // configured. The basic rate tracks the PHY bitrate so code-0 and
+  // basic-code airtimes agree.
+  if (config_.rateControl != rate::ControlKind::Fixed ||
+      config_.rateSet != rate::RateSetKind::Basic) {
+    rateTable_ = std::make_unique<rate::RateTable>(rate::RateTable::forSet(
+        config_.rateSet, config_.node.phy.bitRateBps));
+    channel_->setRateTable(rateTable_.get());
+  }
   if (config_.mobilityMaxSpeedMps > 0.0) {
     // Fading headroom gives the cache ~3.4x distance slack over the CS
     // range (~1.3 km); refresh every 2 s so even 30 m/s nodes cannot
@@ -182,6 +207,8 @@ void Simulation::build() {
   nodeConfig.probeRateScale = config_.protocol.probeRateScale;
   nodeConfig.treeRouting = config_.protocol.routing == Routing::Tree;
   nodeConfig.adaptiveProbing.enabled = config_.protocol.adaptiveProbing;
+  nodeConfig.rateControl = config_.rateControl;
+  nodeConfig.rateTable = rateTable_.get();
   nodes_.reserve(config_.nodeCount);
   for (std::size_t i = 0; i < config_.nodeCount; ++i) {
     nodes_.push_back(std::make_unique<MeshNode>(

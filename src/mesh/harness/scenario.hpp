@@ -95,6 +95,14 @@ struct ScenarioConfig {
   std::vector<GroupSpec> groups;
   app::CbrConfig traffic;  // group id is overridden per GroupSpec
 
+  // Rate adaptation: which controller runs on every node and which 802.11
+  // rate set the shared RateTable holds. The defaults (Fixed + Basic) keep
+  // the simulator on the legacy single-rate path, bit-identical to the
+  // pre-rate code. The MESH_RATE_CONTROL environment variable
+  // ("fixed"/"minstrel"/"genie") overrides `rateControl` at build time.
+  rate::ControlKind rateControl{rate::ControlKind::Fixed};
+  rate::RateSetKind rateSet{rate::RateSetKind::Basic};
+
   ProtocolSpec protocol;
   SimTime duration{SimTime::seconds(std::int64_t{400})};
   std::uint64_t seed{1};
@@ -207,6 +215,7 @@ class Simulation {
   trace::CounterRegistry registry_;
   std::unique_ptr<trace::TraceCollector> trace_;  // null unless tracePath set
   std::unique_ptr<metrics::Metric> metric_;  // null for original ODMRP
+  std::unique_ptr<rate::RateTable> rateTable_;  // null on the legacy path
   std::unique_ptr<phy::Channel> channel_;
   std::vector<std::unique_ptr<MeshNode>> nodes_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -164,9 +164,34 @@ SimTime Mac80211::airtime(std::size_t frameBytes) const {
   return radio_.params().frameAirtime(frameBytes);
 }
 
-void Mac80211::transmitFrame(const Frame& frame) {
-  auto phyFrame = phy::makeFrame(frame.serialize(), frame.payload);
-  radio_.transmit(phyFrame, airtime(phyFrame->sizeBytes()));
+SimTime Mac80211::airtime(std::size_t frameBytes, rate::TxVector v) const {
+  if (v.rateAware() && rateTable_ != nullptr) {
+    return rateTable_->frameAirtime(frameBytes, v.code);
+  }
+  return airtime(frameBytes);
+}
+
+rate::TxVector Mac80211::vectorFor(const TxJob& job) {
+  if (rateController_ == nullptr) return {};
+  // A rate hint pins the choice (probe stamping: the embedded code must
+  // match the actual transmit rate).
+  if (job.payload->rateHint() != 0) {
+    return rate::TxVector{job.payload->rateHint()};
+  }
+  if (job.dst == net::kBroadcastNode) {
+    // Broadcast DATA rides the controller's multicast rate; control floods
+    // stay at the basic rate so route discovery is comparable across
+    // policies (and reaches every neighbor the metrics can see).
+    return job.payload->kind() == net::PacketKind::Data
+               ? rateController_->dataVector()
+               : rate::TxVector{};
+  }
+  return rateController_->unicastVector(job.dst, job.retries);
+}
+
+void Mac80211::transmitFrame(const Frame& frame, rate::TxVector v) {
+  auto phyFrame = phy::makeFrame(frame.serialize(), frame.payload, v);
+  radio_.transmit(phyFrame, airtime(phyFrame->sizeBytes(), v));
 }
 
 namespace {
@@ -178,8 +203,12 @@ std::uint16_t saturateUs(SimTime t) {
 
 void Mac80211::transmitRts() {
   MESH_ASSERT(current_.has_value());
+  // The RTS itself goes at the basic rate, but its NAV reservation must
+  // cover the DATA frame at the rate it will actually use.
+  const rate::TxVector dataVec = vectorFor(*current_);
   const SimTime ctsAt = airtime(kCtsBytes);
-  const SimTime dataAt = airtime(dataFrameBytes(current_->payload->sizeBytes()));
+  const SimTime dataAt =
+      airtime(dataFrameBytes(current_->payload->sizeBytes()), dataVec);
   const SimTime ackAt = airtime(kAckBytes);
   const SimTime reservation =
       params_.sifs * 3 + ctsAt + dataAt + ackAt;
@@ -205,7 +234,9 @@ void Mac80211::transmitRts() {
 void Mac80211::transmitData() {
   MESH_ASSERT(current_.has_value());
   const bool broadcast = current_->dst == net::kBroadcastNode;
-  const SimTime dataAt = airtime(dataFrameBytes(current_->payload->sizeBytes()));
+  const rate::TxVector dataVec = vectorFor(*current_);
+  const SimTime dataAt =
+      airtime(dataFrameBytes(current_->payload->sizeBytes()), dataVec);
   const SimTime ackAt = airtime(kAckBytes);
 
   Frame data;
@@ -223,7 +254,7 @@ void Mac80211::transmitData() {
   } else {
     ++stats_.unicastSent;
   }
-  transmitFrame(data);
+  transmitFrame(data, dataVec);
   txDoneTimer_.start(dataAt, [this] { onDataTxComplete(); });
 }
 

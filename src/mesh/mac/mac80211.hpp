@@ -31,6 +31,8 @@
 #include "mesh/mac/mac_params.hpp"
 #include "mesh/net/packet.hpp"
 #include "mesh/phy/radio.hpp"
+#include "mesh/rate/rate_controller.hpp"
+#include "mesh/rate/tx_vector.hpp"
 #include "mesh/sim/simulator.hpp"
 #include "mesh/sim/timer.hpp"
 
@@ -90,6 +92,16 @@ class Mac80211 {
   // CTS-timeout} records. Null (the default) disables the hooks.
   void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
 
+  // Attach a rate controller (both null by default = the legacy fixed-rate
+  // path). DATA frames then carry the controller's TxVector — per-rate
+  // airtime, NAV reservations computed from it — while RTS/CTS/ACK and
+  // broadcast control floods stay at the basic rate, the 802.11 rule.
+  void setRateControl(rate::RateController* controller,
+                      const rate::RateTable* table) {
+    rateController_ = controller;
+    rateTable_ = table;
+  }
+
   // Queue a payload for transmission. dst == net::kBroadcastNode selects
   // the broadcast service.
   void send(net::PacketPtr payload, net::NodeId dst);
@@ -125,7 +137,11 @@ class Mac80211 {
 
   // --- transmission -------------------------------------------------------
   SimTime airtime(std::size_t frameBytes) const;
-  void transmitFrame(const Frame& frame);
+  SimTime airtime(std::size_t frameBytes, rate::TxVector v) const;
+  // Rate decision for the current job's DATA frame (legacy when no
+  // controller is attached).
+  rate::TxVector vectorFor(const TxJob& job);
+  void transmitFrame(const Frame& frame, rate::TxVector v = {});
   void transmitRts();
   void transmitData();
   void onDataTxComplete();
@@ -151,6 +167,8 @@ class Mac80211 {
   RxCallback rxCallback_;
   TxStatusCallback txStatusCallback_;
   trace::TraceCollector* trace_{nullptr};
+  rate::RateController* rateController_{nullptr};
+  const rate::RateTable* rateTable_{nullptr};
 
   std::deque<TxJob> queue_;
   std::optional<TxJob> current_;

@@ -10,13 +10,16 @@
 #include <cstdint>
 
 #include "mesh/common/simtime.hpp"
+#include "mesh/rate/airtime.hpp"
 
 namespace mesh::mac {
 
 struct MacParams {
-  SimTime slotTime{SimTime::microseconds(std::int64_t{20})};
-  SimTime sifs{SimTime::microseconds(std::int64_t{10})};
-  SimTime difs{SimTime::microseconds(std::int64_t{50})};
+  // DSSS PHY timing, single-sourced from mesh/rate/airtime.hpp so the MAC
+  // and the rate table can never drift apart.
+  SimTime slotTime{rate::kDsssSlotTime};
+  SimTime sifs{rate::kDsssSifs};
+  SimTime difs{rate::kDsssDifs};
 
   // Contention window bounds (number of slots is drawn from [0, cw]).
   int cwMin{31};

@@ -12,8 +12,15 @@ std::uint8_t ReportEntry::quantize(double df) {
   return static_cast<std::uint8_t>(clamped * 255.0 + 0.5);
 }
 
+namespace {
+// First byte of the rate extension. Legacy probes pad with zeros, so a
+// non-zero marker makes the extension's presence unambiguous to parse().
+constexpr std::uint8_t kRateExtMarker = 0xA5;
+}  // namespace
+
 std::vector<std::uint8_t> ProbeMessage::serialize() const {
   MESH_REQUIRE(report.size() <= 255);
+  MESH_REQUIRE(rateReport.size() <= 255);
   std::vector<std::uint8_t> out;
   const std::size_t target =
       type == ProbeType::PairLarge ? kLargeProbeBytes : kSmallProbeBytes;
@@ -26,6 +33,17 @@ std::vector<std::uint8_t> ProbeMessage::serialize() const {
   for (const ReportEntry& entry : report) {
     w.u16(entry.neighbor);
     w.u8(entry.dfQuantized);
+  }
+  if (txCode != 0) {
+    w.u8(kRateExtMarker);
+    w.u8(txCode);
+    w.u32(perRateSeq);
+    w.u8(static_cast<std::uint8_t>(rateReport.size()));
+    for (const rate::RateFeedbackEntry& entry : rateReport) {
+      w.u16(entry.neighbor);
+      w.u8(entry.code);
+      w.u8(entry.dfQ);
+    }
   }
   if (out.size() < target) w.zeros(target - out.size());
   return out;
@@ -48,6 +66,25 @@ std::optional<ProbeMessage> ProbeMessage::parse(std::span<const std::uint8_t> by
     entry.neighbor = r.u16();
     entry.dfQuantized = r.u8();
     m.report.push_back(entry);
+  }
+  // Optional rate extension; anything else here is legacy zero padding.
+  if (r.remaining() >= 7 && bytes[bytes.size() - r.remaining()] == 0xA5) {
+    r.skip(1);  // marker
+    m.txCode = r.u8();
+    if (m.txCode == 0) return std::nullopt;
+    m.perRateSeq = r.u32();
+    const std::uint8_t rrCount = r.u8();
+    if (r.remaining() < static_cast<std::size_t>(rrCount) * 4) {
+      return std::nullopt;
+    }
+    m.rateReport.reserve(rrCount);
+    for (std::uint8_t i = 0; i < rrCount; ++i) {
+      rate::RateFeedbackEntry entry;
+      entry.neighbor = r.u16();
+      entry.code = r.u8();
+      entry.dfQ = r.u8();
+      m.rateReport.push_back(entry);
+    }
   }
   return m;
 }

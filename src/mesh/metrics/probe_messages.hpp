@@ -23,6 +23,7 @@
 #include "mesh/net/addr.hpp"
 #include "mesh/net/buffer.hpp"
 #include "mesh/net/packet.hpp"
+#include "mesh/rate/rate_controller.hpp"
 
 namespace mesh::metrics {
 
@@ -50,6 +51,16 @@ struct ProbeMessage {
   std::uint32_t seq{0};
   std::vector<ReportEntry> report;  // empty unless neighbor reports are on
 
+  // Rate-adaptation extension (Minstrel), absent on the wire when txCode
+  // is 0 — legacy probes serialize byte-identically. `txCode` is the
+  // RateTable code this probe is transmitted at, `perRateSeq` the sender's
+  // per-rate sequence number (receivers infer per-rate losses from gaps),
+  // and `rateReport` echoes measured per-(neighbor, rate) delivery
+  // fractions back to the senders that probed us.
+  std::uint8_t txCode{0};
+  std::uint32_t perRateSeq{0};
+  std::vector<rate::RateFeedbackEntry> rateReport;
+
   // Serialized size: fields (+ report) padded up to the nominal probe
   // size; a large report can grow the probe beyond it, costing airtime —
   // the realistic price of bidirectional measurement.
@@ -57,7 +68,10 @@ struct ProbeMessage {
   static std::optional<ProbeMessage> parse(std::span<const std::uint8_t> bytes);
 
   net::PacketPtr toPacket(SimTime now) const {
-    return net::Packet::make(net::PacketKind::Probe, sender, serialize(), now);
+    // txCode doubles as the MAC rate hint: the embedded code must match
+    // the rate the frame actually flies at.
+    return net::Packet::make(net::PacketKind::Probe, sender, serialize(), now,
+                             txCode);
   }
 };
 

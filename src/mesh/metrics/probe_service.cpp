@@ -74,6 +74,16 @@ void ProbeService::sendProbes() {
     table_.finalizeStalePairs(now, interval_ / 2);
   }
   const std::uint32_t seq = seq_++;
+  // Rate adaptation: one rate decision per cycle (every probe of the cycle
+  // flies at it, so per-rate sequence gaps are attributable to that rate).
+  std::uint8_t txCode = 0;
+  if (rateController_ != nullptr) txCode = rateController_->probeVector().code;
+  const auto stampRate = [&](ProbeMessage& m, bool withReport) {
+    if (txCode == 0) return;
+    m.txCode = txCode;
+    m.perRateSeq = rateController_->noteProbeSent(txCode);
+    if (withReport) rateController_->buildRateReport(m.rateReport, 16);
+  };
   if (config_.mode == ProbeMode::Single) {
     ProbeMessage m{ProbeType::Single, self_, seq};
     if (config_.neighborReports) {
@@ -82,6 +92,7 @@ void ProbeService::sendProbes() {
         m.report.push_back(ReportEntry{neighbor, ReportEntry::quantize(df)});
       }
     }
+    stampRate(m, /*withReport=*/true);
     auto packet = m.toPacket(now);
     stats_.probesSent += 1;
     stats_.probeBytesSent += packet->sizeBytes();
@@ -93,6 +104,10 @@ void ProbeService::sendProbes() {
     // channel (airtime + contention), which is the packet-pair principle.
     ProbeMessage small{ProbeType::PairSmall, self_, seq};
     ProbeMessage large{ProbeType::PairLarge, self_, seq};
+    // The feedback report rides the small probe only; the large one still
+    // counts in the per-rate delivery windows via its own sequence number.
+    stampRate(small, /*withReport=*/true);
+    stampRate(large, /*withReport=*/false);
     auto smallPacket = small.toPacket(now);
     auto largePacket = large.toPacket(now);
     stats_.probesSent += 2;
@@ -114,6 +129,16 @@ void ProbeService::onPacket(const net::PacketPtr& packet, SimTime now) {
   ++stats_.probesReceived;
   stats_.probeBytesReceived += packet->sizeBytes();
   table_.onProbe(*probe, now, self_);
+  if (rateController_ != nullptr && probe->txCode != 0) {
+    rateController_->onProbeHeard(probe->sender, probe->txCode,
+                                  probe->perRateSeq);
+    for (const rate::RateFeedbackEntry& entry : probe->rateReport) {
+      if (entry.neighbor == self_) {
+        rateController_->onRateFeedback(probe->sender, entry.code,
+                                        entry.dfQ / 255.0);
+      }
+    }
+  }
 }
 
 }  // namespace mesh::metrics

@@ -77,6 +77,14 @@ class ProbeService {
   // Observability: ProbeTx records for every probe handed to the MAC.
   void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
 
+  // Attach a rate controller (null = legacy probes, byte-identical wire
+  // format). Probes then carry the controller's per-rate sequence numbers
+  // and echo delivery feedback — the measurement channel Minstrel rides,
+  // reusing the probe schedule instead of adding traffic.
+  void setRateController(rate::RateController* controller) {
+    rateController_ = controller;
+  }
+
  private:
   void sendProbes();
   void adjustSlowdown();
@@ -88,6 +96,7 @@ class ProbeService {
   NeighborTable& table_;
   SendFn send_;
   trace::TraceCollector* trace_{nullptr};
+  rate::RateController* rateController_{nullptr};
   Rng rng_;
   sim::PeriodicTimer timer_;
   std::uint32_t seq_{0};

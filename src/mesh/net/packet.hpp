@@ -39,23 +39,30 @@ class Packet {
  public:
   // Creates a packet owning `bytes`. `origin` is the node that *created*
   // the packet (not the current transmitter — that is MAC-level state).
+  // `rateHint` pins the MAC's rate choice for this packet (RateTable code;
+  // 0 = let the rate controller decide): probes stamped with a lookaround
+  // rate must actually transmit at it.
   static PacketPtr make(PacketKind kind, NodeId origin,
-                        std::vector<std::uint8_t> bytes, SimTime created) {
+                        std::vector<std::uint8_t> bytes, SimTime created,
+                        std::uint8_t rateHint = 0) {
     return std::make_shared<const Packet>(PrivateTag{}, kind, origin,
-                                          std::move(bytes), created);
+                                          std::move(bytes), created, rateHint);
   }
 
   struct PrivateTag {};  // make_shared needs a public ctor; keep it unusable
   Packet(PrivateTag, PacketKind kind, NodeId origin,
-         std::vector<std::uint8_t> bytes, SimTime created)
+         std::vector<std::uint8_t> bytes, SimTime created,
+         std::uint8_t rateHint = 0)
       : uid_{nextUid()},
         kind_{kind},
+        rateHint_{rateHint},
         origin_{origin},
         created_{created},
         bytes_{std::move(bytes)} {}
 
   std::uint64_t uid() const { return uid_; }
   PacketKind kind() const { return kind_; }
+  std::uint8_t rateHint() const { return rateHint_; }
   NodeId origin() const { return origin_; }
   SimTime createdAt() const { return created_; }
   std::size_t sizeBytes() const { return bytes_.size(); }
@@ -69,6 +76,7 @@ class Packet {
 
   std::uint64_t uid_;
   PacketKind kind_;
+  std::uint8_t rateHint_;
   NodeId origin_;
   SimTime created_;
   std::vector<std::uint8_t> bytes_;

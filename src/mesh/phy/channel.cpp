@@ -280,11 +280,13 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
           txNode, receiver.nodeId(), link.meanPowerW, rng_);
       // Signals with no carrier-sense significance are not worth an event.
       if (powerW < receiver.params().csThresholdW * 1e-3) continue;
+      const bool corrupted = perCorrupted(receiver, frame, powerW);
       ++stats_.deliveriesScheduled;
-      simulator_.schedule(link.propagation,
-                          [&receiver, frame, txNode, powerW, airtime] {
-                            receiver.beginArrival(frame, txNode, powerW, airtime);
-                          });
+      simulator_.schedule(
+          link.propagation,
+          [&receiver, frame, txNode, powerW, airtime, corrupted] {
+            receiver.beginArrival(frame, txNode, powerW, airtime, corrupted);
+          });
     }
     return;
   }
@@ -303,12 +305,27 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
 
     const double distance = linkModel_->distanceM(txNode, receiver.nodeId());
     const SimTime propagation = SimTime::seconds(distance / kSpeedOfLight);
+    const bool corrupted = perCorrupted(receiver, frame, powerW);
     ++stats_.deliveriesScheduled;
-    simulator_.schedule(propagation,
-                        [&receiver, frame, txNode, powerW, airtime] {
-                          receiver.beginArrival(frame, txNode, powerW, airtime);
-                        });
+    simulator_.schedule(
+        propagation, [&receiver, frame, txNode, powerW, airtime, corrupted] {
+          receiver.beginArrival(frame, txNode, powerW, airtime, corrupted);
+        });
   }
+}
+
+bool Channel::perCorrupted(const Radio& receiver, const PhyFramePtr& frame,
+                           double powerW) {
+  // Legacy frames (code 0) and runs without a rate table take no draw at
+  // all — the RNG stream stays bit-identical to the pre-rate simulator.
+  if (rateTable_ == nullptr || !frame->tx.rateAware()) return false;
+  // Below the lock threshold the frame is undecodable regardless; spare
+  // the draw.
+  if (powerW < receiver.params().rxThresholdW) return false;
+  const double snrDb = linearToDb(powerW / receiver.params().noiseFloorW);
+  const double per =
+      rateTable_->per(frame->tx.code, snrDb, frame->sizeBytes());
+  return rng_.bernoulli(per);
 }
 
 }  // namespace mesh::phy

@@ -42,6 +42,7 @@
 #include "mesh/phy/link_model.hpp"
 #include "mesh/phy/radio.hpp"
 #include "mesh/phy/spatial_grid.hpp"
+#include "mesh/rate/rate_table.hpp"
 #include "mesh/sim/simulator.hpp"
 
 namespace mesh::phy {
@@ -141,9 +142,19 @@ class Channel {
   // Optional drop records for fault-suppressed deliveries.
   void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
 
+  // Arms the per-rate SNR→PER error model: frames carrying a rate-aware
+  // TxVector (code != 0) are killed per receiver with the table's PER at
+  // the sampled SNR. Null (the default) — and every code-0 frame — keeps
+  // the legacy behavior with zero extra RNG draws, which is what makes
+  // rate_control=fixed bit-identical to the pre-rate simulator.
+  void setRateTable(const rate::RateTable* table) { rateTable_ = table; }
+
   const LinkModel& linkModel() const { return *linkModel_; }
   const ChannelStats& stats() const { return stats_; }
   std::size_t radioCount() const { return radios_.size(); }
+  // Attach-ordered radio list. Build/inspection time only (the Genie rate
+  // controller's oracle enumerates neighbors through it), never per frame.
+  const std::vector<Radio*>& radios() const { return radios_; }
 
  private:
   // One reachable receiver of a transmitter: the slab the per-transmission
@@ -168,6 +179,10 @@ class Channel {
   // Returns true when a loss override says this delivery must be
   // suppressed (drawing from rng_ for partial loss rates).
   bool lossSuppressed(net::NodeId tx, net::NodeId rx, const PhyFramePtr& frame);
+  // Per-rate error model: true when the frame fails its PER draw at this
+  // receiver. Never draws for legacy (code 0) frames.
+  bool perCorrupted(const Radio& receiver, const PhyFramePtr& frame,
+                    double powerW);
 
   sim::Simulator& simulator_;
   std::unique_ptr<LinkModel> linkModel_;
@@ -194,6 +209,7 @@ class Channel {
   // directions. Empty in fault-free runs (one .empty() test per tx).
   std::unordered_map<net::LinkKey, double, net::LinkKeyHash> linkLoss_;
   trace::TraceCollector* trace_{nullptr};
+  const rate::RateTable* rateTable_{nullptr};
   bool reachabilityBuilt_{false};
   bool attachClosed_{false};  // set at first build; attach() forbidden after
   SimTime refreshInterval_{SimTime::zero()};  // zero: never refresh

@@ -13,20 +13,25 @@
 #include <vector>
 
 #include "mesh/net/packet.hpp"
+#include "mesh/rate/tx_vector.hpp"
 
 namespace mesh::phy {
 
 struct PhyFrame {
   std::vector<std::uint8_t> bytes;
   net::PacketPtr payload;  // null for MAC control frames (RTS/CTS/ACK)
+  rate::TxVector tx;       // code 0 = legacy fixed-rate path
 
   std::size_t sizeBytes() const { return bytes.size(); }
 };
 
 using PhyFramePtr = std::shared_ptr<const PhyFrame>;
 
-inline PhyFramePtr makeFrame(std::vector<std::uint8_t> bytes, net::PacketPtr payload) {
-  return std::make_shared<const PhyFrame>(PhyFrame{std::move(bytes), std::move(payload)});
+inline PhyFramePtr makeFrame(std::vector<std::uint8_t> bytes,
+                             net::PacketPtr payload,
+                             rate::TxVector tx = {}) {
+  return std::make_shared<const PhyFrame>(
+      PhyFrame{std::move(bytes), std::move(payload), tx});
 }
 
 }  // namespace mesh::phy

@@ -11,6 +11,7 @@
 
 #include "mesh/common/simtime.hpp"
 #include "mesh/common/units.hpp"
+#include "mesh/rate/airtime.hpp"
 
 namespace mesh::phy {
 
@@ -38,13 +39,15 @@ struct PhyParams {
   // uses for both data and control.
   double bitRateBps{2e6};
   // PLCP preamble + header: 802.11 DSSS long preamble, sent at 1 Mbps.
-  SimTime plcpOverhead{SimTime::microseconds(std::int64_t{192})};
+  // Single-sourced from mesh/rate/airtime.hpp — the same constant the
+  // multi-rate table uses for its DSSS entries.
+  SimTime plcpOverhead{rate::kDsssPlcpOverhead};
 
   double wavelengthM() const { return 299'792'458.0 / frequencyHz; }
 
-  // Airtime of a frame of `bytes` total MAC-layer size.
+  // Airtime of a frame of `bytes` total MAC-layer size at the basic rate.
   SimTime frameAirtime(std::size_t bytes) const {
-    return plcpOverhead + transmissionTime(bytes, bitRateBps);
+    return rate::frameAirtimeAt(bytes, bitRateBps, plcpOverhead);
   }
 };
 

@@ -114,7 +114,8 @@ void Radio::transmit(const PhyFramePtr& frame, SimTime airtime) {
   stats_.airtimeTx += airtime;
   if (trace_ != nullptr) {
     trace_->txStart(simulator_.now(), node_, frame->payload.get(),
-                    static_cast<std::uint32_t>(frame->sizeBytes()));
+                    static_cast<std::uint32_t>(frame->sizeBytes()),
+                    frame->tx.code);
   }
   simulator_.schedule(airtime, [this] { endTransmit(); });
   channel_->transmit(*this, frame, airtime);
@@ -132,7 +133,8 @@ void Radio::endTransmit() {
 }
 
 void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
-                         double rxPowerW, SimTime airtime) {
+                         double rxPowerW, SimTime airtime,
+                         bool perCorrupted) {
   if (failed_) {
     // Powered off: the energy never enters the receive chain (and never
     // counts for carrier sense), so recovery starts from a clean radio.
@@ -142,7 +144,7 @@ void Radio::beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
   }
   const std::uint64_t key = ++nextArrivalKey_;
   arrivals_.push_back(Arrival{key, frame, transmitter, rxPowerW,
-                              simulator_.now() + airtime});
+                              simulator_.now() + airtime, perCorrupted});
   // Appending extends the left-fold sum by one term: still bit-exact.
   inbandPowerW_ += rxPowerW;
   simulator_.schedule(airtime, [this, key] { endArrival(key); });
@@ -183,6 +185,12 @@ void Radio::endArrival(std::uint64_t key) {
       ++stats_.framesCorrupted;
       if (trace_ != nullptr) {
         traceDrop(arrival.frame, trace::DropReason::PhyCollision);
+      }
+    } else if (arrival.perCorrupted) {
+      // The channel's SNR→PER model failed this frame at its chosen rate.
+      ++stats_.framesRateCorrupted;
+      if (trace_ != nullptr) {
+        traceDrop(arrival.frame, trace::DropReason::PhyRateDecode);
       }
     } else {
       ++stats_.framesDelivered;

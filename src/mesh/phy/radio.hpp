@@ -49,6 +49,7 @@ struct RadioStats {
   std::uint64_t framesSent{0};
   std::uint64_t framesDelivered{0};      // decoded and handed to MAC
   std::uint64_t framesCorrupted{0};      // locked but SINR dipped (collision)
+  std::uint64_t framesRateCorrupted{0};  // locked but lost to per-rate PER
   std::uint64_t framesBelowThreshold{0}; // energy sensed, never decodable
   std::uint64_t framesMissedBusy{0};     // arrived while radio Tx/Rx-locked
   std::uint64_t framesLostFailed{0};     // tx/rx swallowed while setFailed(true)
@@ -133,8 +134,12 @@ class Radio {
 
   // Called by the channel at the instant the first energy of a frame
   // reaches this radio. The radio schedules the end of the arrival itself.
+  // `perCorrupted` marks a frame the channel's per-rate error model already
+  // killed: its energy behaves normally (carrier sense, interference, it
+  // still locks the receiver) but the decode fails at the end.
   void beginArrival(const PhyFramePtr& frame, net::NodeId transmitter,
-                    double rxPowerW, SimTime airtime);
+                    double rxPowerW, SimTime airtime,
+                    bool perCorrupted = false);
 
  private:
   // `frame` is null for injected noise bursts, which carry energy but can
@@ -145,6 +150,7 @@ class Radio {
     net::NodeId transmitter;
     double rxPowerW;
     SimTime end;
+    bool perCorrupted{false};
   };
 
   void endArrival(std::uint64_t key);

@@ -1,0 +1,39 @@
+#pragma once
+// Single source of truth for 802.11 frame-airtime math.
+//
+// Before the rate subsystem existed, the PLCP overhead and the DCF slot
+// timing lived as duplicated literals in phy_params.hpp and mac_params.hpp
+// — two places that must agree for NAV reservations to cover real airtime.
+// Every airtime formula now routes through here: PhyParams::frameAirtime,
+// the MAC's per-frame timing, and the multi-rate RateTable all call
+// frameAirtimeAt with a PLCP constant defined once.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/common/units.hpp"
+
+namespace mesh::rate {
+
+// 802.11 DSSS long preamble + PLCP header, sent at 1 Mbps: 144 + 48 bits.
+inline constexpr SimTime kDsssPlcpOverhead =
+    SimTime::microseconds(std::int64_t{192});
+// ERP-OFDM (802.11g): 16 µs preamble + 4 µs SIGNAL + 6 µs signal extension.
+inline constexpr SimTime kOfdmPlcpOverhead =
+    SimTime::microseconds(std::int64_t{26});
+
+// DSSS PHY characteristics that parameterize the DCF (802.11-1999 §15.3.3).
+inline constexpr SimTime kDsssSlotTime =
+    SimTime::microseconds(std::int64_t{20});
+inline constexpr SimTime kDsssSifs = SimTime::microseconds(std::int64_t{10});
+// DIFS is derived, not free: SIFS + 2·slot = 50 µs for DSSS.
+inline constexpr SimTime kDsssDifs = kDsssSifs + kDsssSlotTime * 2;
+
+// Airtime of `bytes` of MAC frame at `bitRateBps` behind a `plcp` preamble.
+inline SimTime frameAirtimeAt(std::size_t bytes, double bitRateBps,
+                              SimTime plcp) {
+  return plcp + transmissionTime(bytes, bitRateBps);
+}
+
+}  // namespace mesh::rate

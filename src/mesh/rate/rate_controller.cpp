@@ -1,0 +1,255 @@
+#include "mesh/rate/rate_controller.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::rate {
+
+const char* toString(ControlKind kind) {
+  switch (kind) {
+    case ControlKind::Fixed: return "fixed";
+    case ControlKind::Minstrel: return "minstrel";
+    case ControlKind::Genie: return "genie";
+  }
+  return "?";
+}
+
+bool controlKindFromString(const char* text, ControlKind& out) {
+  for (const ControlKind kind :
+       {ControlKind::Fixed, ControlKind::Minstrel, ControlKind::Genie}) {
+    if (std::strcmp(text, toString(kind)) == 0) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+RateController::RateController(const RateTable& table)
+    : table_{table},
+      probeSeq_(static_cast<std::size_t>(table.size()) + 1, 0) {}
+
+std::uint32_t RateController::noteProbeSent(std::uint8_t code) {
+  MESH_REQUIRE(code >= 1 && code <= table_.size());
+  return ++probeSeq_[code];
+}
+
+// ---------------------------------------------------------------- Minstrel
+
+MinstrelController::MinstrelController(const RateTable& table,
+                                       MinstrelConfig config)
+    : RateController{table},
+      config_{config},
+      cached_{TxVector{table.basicCode()}} {}
+
+void MinstrelController::RxWindow::onProbe(std::uint32_t seq) {
+  if (!started || seq <= lastSeq) {
+    started = true;
+    lastSeq = seq;
+    history = 1;
+    filled = 1;
+    return;
+  }
+  const std::uint32_t gap = seq - lastSeq;  // 1 = no loss
+  const unsigned shift = gap > 16 ? 16u : static_cast<unsigned>(gap);
+  history = static_cast<std::uint16_t>(
+      shift >= 16 ? 1u : ((static_cast<unsigned>(history) << shift) | 1u));
+  const unsigned full = static_cast<unsigned>(filled) + shift;
+  filled = static_cast<std::uint8_t>(full > 16 ? 16u : full);
+  lastSeq = seq;
+}
+
+double MinstrelController::RxWindow::df() const {
+  if (filled == 0) return 0.0;
+  const unsigned mask =
+      filled >= 16 ? 0xFFFFu : ((1u << filled) - 1u);
+  const int got = std::popcount(static_cast<unsigned>(history) & mask);
+  return static_cast<double>(got) / static_cast<double>(filled);
+}
+
+void MinstrelController::onProbeHeard(net::NodeId from, std::uint8_t code,
+                                      std::uint32_t seq) {
+  if (code < 1 || code > table_.size()) return;
+  rxWindows_[{from, code}].onProbe(seq);
+}
+
+void MinstrelController::onRateFeedback(net::NodeId from, std::uint8_t code,
+                                        double df) {
+  if (code < 1 || code > table_.size()) return;
+  auto [it, inserted] = txProb_.try_emplace(
+      from, std::vector<double>(static_cast<std::size_t>(table_.size()) + 1,
+                                -1.0));
+  double& prob = it->second[code];
+  prob = prob < 0.0 ? df
+                    : config_.ewmaWeight * prob +
+                          (1.0 - config_.ewmaWeight) * df;
+  dirty_ = true;
+}
+
+void MinstrelController::buildRateReport(std::vector<RateFeedbackEntry>& out,
+                                         std::size_t maxEntries) {
+  if (rxWindows_.empty() || maxEntries == 0) return;
+  // Rotate a cursor across the map so successive small probes cover the
+  // whole (neighbor, rate) state even when it doesn't fit in one report.
+  const std::size_t total = rxWindows_.size();
+  std::size_t start = reportCursor_ % total;
+  auto it = rxWindows_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(start));
+  const std::size_t count = std::min(maxEntries, total);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (it == rxWindows_.end()) it = rxWindows_.begin();
+    const double df = it->second.df();
+    out.push_back(RateFeedbackEntry{
+        it->first.first, it->first.second,
+        static_cast<std::uint8_t>(std::lround(df * 255.0))});
+    ++it;
+  }
+  reportCursor_ = (start + count) % total;
+}
+
+double MinstrelController::successProb(net::NodeId neighbor,
+                                       std::uint8_t code) const {
+  const auto it = txProb_.find(neighbor);
+  if (it == txProb_.end() || code < 1 || code > table_.size()) return -1.0;
+  return it->second[code];
+}
+
+void MinstrelController::recompute() {
+  dirty_ = false;
+  cached_ = TxVector{table_.basicCode()};
+  if (txProb_.empty()) return;
+  double bestScore = 0.0;
+  std::vector<double> probs;
+  for (std::uint8_t code = 1; code <= table_.size(); ++code) {
+    probs.clear();
+    for (const auto& [neighbor, perRate] : txProb_) {
+      if (perRate[code] >= 0.0) probs.push_back(perRate[code]);
+    }
+    if (probs.empty()) continue;
+    std::sort(probs.begin(), probs.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        config_.coverageQuantile * static_cast<double>(probs.size() - 1));
+    const double coverage = probs[idx];
+    if (coverage < config_.minProb && code != table_.basicCode()) continue;
+    const double score = table_.info(code).bitRateBps * coverage;
+    if (score > bestScore) {
+      bestScore = score;
+      cached_ = TxVector{code};
+    }
+  }
+}
+
+TxVector MinstrelController::dataVector() {
+  if (dirty_) recompute();
+  return cached_;
+}
+
+TxVector MinstrelController::probeVector() {
+  ++probeCount_;
+  const TxVector data = dataVector();
+  if (table_.size() < 2 || config_.lookaroundPeriod <= 0 ||
+      probeCount_ % static_cast<std::uint32_t>(config_.lookaroundPeriod) !=
+          0) {
+    return data;
+  }
+  // Round-robin over the other rates: each lookaround probe samples the
+  // next code, skipping the current data rate.
+  std::uint8_t code = lookaroundNext_;
+  if (code == data.code) {
+    code = static_cast<std::uint8_t>(code % table_.size() + 1);
+  }
+  lookaroundNext_ = static_cast<std::uint8_t>(code % table_.size() + 1);
+  return TxVector{code};
+}
+
+TxVector MinstrelController::unicastVector(net::NodeId dst, int attempt) {
+  const auto it = txProb_.find(dst);
+  if (it == txProb_.end()) return TxVector{table_.basicCode()};
+  const std::vector<double>& perRate = it->second;
+  std::uint8_t maxTp = 0, maxTp2 = 0, maxProb = 0;
+  double tp1 = 0.0, tp2 = 0.0, bestProb = 0.0;
+  for (std::uint8_t code = 1; code <= table_.size(); ++code) {
+    const double p = perRate[code];
+    if (p < config_.minProb) continue;
+    const double tp = table_.info(code).bitRateBps * p;
+    if (tp > tp1) {
+      tp2 = tp1;
+      maxTp2 = maxTp;
+      tp1 = tp;
+      maxTp = code;
+    } else if (tp > tp2) {
+      tp2 = tp;
+      maxTp2 = code;
+    }
+    if (p > bestProb) {
+      bestProb = p;
+      maxProb = code;
+    }
+  }
+  const std::uint8_t basic = table_.basicCode();
+  const std::uint8_t chain[4] = {
+      maxTp != 0 ? maxTp : basic,
+      maxTp2 != 0 ? maxTp2 : (maxTp != 0 ? maxTp : basic),
+      maxProb != 0 ? maxProb : basic,
+      basic,
+  };
+  const int slot = attempt < 0 ? 0 : (attempt > 3 ? 3 : attempt);
+  return TxVector{chain[slot]};
+}
+
+// ------------------------------------------------------------------- Genie
+
+GenieController::GenieController(const RateTable& table,
+                                 NeighborSnrFn neighborSnrsDb, SnrToFn snrDbTo,
+                                 GenieConfig config)
+    : RateController{table},
+      config_{config},
+      neighborSnrsDb_{std::move(neighborSnrsDb)},
+      snrDbTo_{std::move(snrDbTo)} {}
+
+std::uint8_t GenieController::pickForSnr(double snrDb) const {
+  std::uint8_t best = table_.basicCode();
+  double bestRate = 0.0;
+  for (std::uint8_t code = 1; code <= table_.size(); ++code) {
+    const RateInfo& info = table_.info(code);
+    if (info.bitRateBps <= bestRate) continue;
+    if (table_.per(code, snrDb, config_.nominalBytes) <=
+        config_.perThreshold) {
+      best = code;
+      bestRate = info.bitRateBps;
+    }
+  }
+  return best;
+}
+
+TxVector GenieController::dataVector() {
+  if (haveBroadcast_) return broadcast_;
+  haveBroadcast_ = true;
+  broadcast_ = TxVector{table_.basicCode()};
+  if (!neighborSnrsDb_) return broadcast_;
+  std::vector<std::pair<net::NodeId, double>> snrs = neighborSnrsDb_();
+  if (snrs.empty()) return broadcast_;
+  std::sort(snrs.begin(), snrs.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  const std::size_t idx = static_cast<std::size_t>(
+      config_.coverageQuantile * static_cast<double>(snrs.size() - 1));
+  broadcast_ = TxVector{pickForSnr(snrs[idx].second)};
+  return broadcast_;
+}
+
+TxVector GenieController::unicastVector(net::NodeId dst, int attempt) {
+  // Last-resort attempts fall back to basic like every 802.11 retry chain.
+  if (attempt >= 2) return TxVector{table_.basicCode()};
+  const auto it = unicast_.find(dst);
+  if (it != unicast_.end()) return TxVector{it->second};
+  const std::uint8_t code =
+      snrDbTo_ ? pickForSnr(snrDbTo_(dst)) : table_.basicCode();
+  unicast_.emplace(dst, code);
+  return TxVector{code};
+}
+
+}  // namespace mesh::rate

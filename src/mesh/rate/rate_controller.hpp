@@ -1,0 +1,203 @@
+#pragma once
+// Pluggable per-node rate control.
+//
+// A RateController picks the TxVector for every frame a node originates:
+// broadcast data, metric probes (with a lookaround hook so samplers can
+// spend a fraction of probes exploring other rates), and unicast attempts
+// (with a retry chain). Three implementations:
+//
+//   FixedRate    — always returns the legacy code 0: airtime and channel
+//                  behavior are bit-identical to the pre-rate simulator.
+//                  This is the determinism anchor and the default.
+//   Minstrel     — samples every rate via lookaround probes, learns an
+//                  EWMA success probability per (neighbor, rate) from
+//                  probe-carried feedback, and broadcasts at the rate
+//                  maximizing bitrate × coverage-quantile success. Unicast
+//                  uses the classic max-throughput retry chain.
+//   Genie        — an oracle that reads mean link SNR straight from the
+//                  channel's propagation model and picks the highest rate
+//                  whose expected PER clears a threshold: the upper bound
+//                  a real sampler is judged against.
+//
+// Every controller is deterministic: no controller draws randomness, so
+// adding one perturbs no existing RNG stream.
+//
+// Feedback plumbing (Minstrel): probes are stamped with (tx rate code,
+// per-rate sequence number). Receivers maintain a short per-(neighbor,
+// rate) delivery window from the sequence gaps and echo the measured
+// delivery fractions inside their own probes; the original sender folds
+// entries about itself into its EWMA. All of it rides the existing probe
+// stream — no new packet type.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mesh/common/simtime.hpp"
+#include "mesh/net/addr.hpp"
+#include "mesh/rate/rate_table.hpp"
+#include "mesh/rate/tx_vector.hpp"
+
+namespace mesh::rate {
+
+enum class ControlKind : std::uint8_t { Fixed = 0, Minstrel = 1, Genie = 2 };
+
+const char* toString(ControlKind kind);
+bool controlKindFromString(const char* text, ControlKind& out);
+
+// One probe-carried feedback datum: "I see `neighbor`'s frames at rate
+// `code` with delivery fraction dfQ/255".
+struct RateFeedbackEntry {
+  net::NodeId neighbor{0};
+  std::uint8_t code{0};
+  std::uint8_t dfQ{0};
+};
+
+class RateController {
+ public:
+  explicit RateController(const RateTable& table);
+  virtual ~RateController() = default;
+
+  const RateTable& rates() const { return table_; }
+  virtual ControlKind kind() const = 0;
+
+  // Rate for broadcast data frames.
+  virtual TxVector dataVector() = 0;
+  // Rate for unicast attempt number `attempt` (0 = first transmission).
+  virtual TxVector unicastVector(net::NodeId dst, int attempt) = 0;
+  // Rate for the next metric probe (lookaround hook); default = data rate.
+  virtual TxVector probeVector() { return dataVector(); }
+
+  // Stamps an outgoing probe at `code`: returns this node's running count
+  // of probes transmitted at that rate (1-based). Receivers detect losses
+  // from gaps in this per-rate sequence.
+  std::uint32_t noteProbeSent(std::uint8_t code);
+
+  // Receiver side: a probe from `from`, transmitted at `code` with
+  // per-rate sequence `seq`, arrived.
+  virtual void onProbeHeard(net::NodeId from, std::uint8_t code,
+                            std::uint32_t seq) {
+    (void)from; (void)code; (void)seq;
+  }
+  // Sender side: `from` reports seeing our frames at `code` with delivery
+  // fraction `df`.
+  virtual void onRateFeedback(net::NodeId from, std::uint8_t code,
+                              double df) {
+    (void)from; (void)code; (void)df;
+  }
+  // Fills up to `maxEntries` feedback entries about our neighbors for the
+  // next outgoing probe. Successive calls rotate through the full state so
+  // small probes eventually cover every (neighbor, rate).
+  virtual void buildRateReport(std::vector<RateFeedbackEntry>& out,
+                               std::size_t maxEntries) {
+    (void)out; (void)maxEntries;
+  }
+
+ protected:
+  const RateTable& table_;
+
+ private:
+  std::vector<std::uint32_t> probeSeq_;  // indexed by code, [0] unused
+};
+
+// The determinism anchor: everything at legacy code 0.
+class FixedRateController final : public RateController {
+ public:
+  explicit FixedRateController(const RateTable& table)
+      : RateController{table} {}
+  ControlKind kind() const override { return ControlKind::Fixed; }
+  TxVector dataVector() override { return {}; }
+  TxVector unicastVector(net::NodeId, int) override { return {}; }
+  TxVector probeVector() override { return {}; }
+};
+
+struct MinstrelConfig {
+  double ewmaWeight{0.75};      // weight of history on feedback updates
+  int lookaroundPeriod{4};      // every Nth probe samples a non-data rate
+  double coverageQuantile{0.25};// broadcast covers this neighbor quantile
+  double minProb{0.10};         // rates below this success prob are skipped
+};
+
+class MinstrelController final : public RateController {
+ public:
+  explicit MinstrelController(const RateTable& table,
+                              MinstrelConfig config = {});
+
+  ControlKind kind() const override { return ControlKind::Minstrel; }
+  TxVector dataVector() override;
+  TxVector unicastVector(net::NodeId dst, int attempt) override;
+  TxVector probeVector() override;
+
+  void onProbeHeard(net::NodeId from, std::uint8_t code,
+                    std::uint32_t seq) override;
+  void onRateFeedback(net::NodeId from, std::uint8_t code,
+                      double df) override;
+  void buildRateReport(std::vector<RateFeedbackEntry>& out,
+                       std::size_t maxEntries) override;
+
+  // Observability: learned EWMA success prob for (neighbor, code);
+  // negative when no feedback has arrived yet.
+  double successProb(net::NodeId neighbor, std::uint8_t code) const;
+
+ private:
+  // 16-deep shift-register delivery window keyed by per-rate seq gaps.
+  struct RxWindow {
+    std::uint32_t lastSeq{0};
+    std::uint16_t history{0};
+    std::uint8_t filled{0};
+    bool started{false};
+    double df() const;
+    void onProbe(std::uint32_t seq);
+  };
+
+  void recompute();
+
+  MinstrelConfig config_;
+  // Receiver side: delivery window per (neighbor, rate code).
+  std::map<std::pair<net::NodeId, std::uint8_t>, RxWindow> rxWindows_;
+  // Sender side: EWMA success prob per neighbor, indexed by code
+  // (entries < 0 mean "no feedback yet").
+  std::map<net::NodeId, std::vector<double>> txProb_;
+  std::uint32_t probeCount_{0};
+  std::uint8_t lookaroundNext_{1};
+  std::size_t reportCursor_{0};
+  bool dirty_{true};
+  TxVector cached_{};
+};
+
+struct GenieConfig {
+  double perThreshold{0.10};    // highest rate with PER <= this wins
+  std::size_t nominalBytes{540};// 512 B CBR payload + 28 B MAC header
+  double coverageQuantile{0.25};// broadcast protects this neighbor quantile
+};
+
+class GenieController final : public RateController {
+ public:
+  // `neighborSnrsDb` returns (node, mean SNR dB) for every in-range
+  // neighbor; `snrDbTo` the mean SNR toward one node. Both read the
+  // channel's propagation model (the oracle part).
+  using NeighborSnrFn =
+      std::function<std::vector<std::pair<net::NodeId, double>>()>;
+  using SnrToFn = std::function<double(net::NodeId)>;
+
+  GenieController(const RateTable& table, NeighborSnrFn neighborSnrsDb,
+                  SnrToFn snrDbTo, GenieConfig config = {});
+
+  ControlKind kind() const override { return ControlKind::Genie; }
+  TxVector dataVector() override;
+  TxVector unicastVector(net::NodeId dst, int attempt) override;
+
+ private:
+  std::uint8_t pickForSnr(double snrDb) const;
+
+  GenieConfig config_;
+  NeighborSnrFn neighborSnrsDb_;
+  SnrToFn snrDbTo_;
+  // Static topologies: the oracle answer never changes, cache it.
+  bool haveBroadcast_{false};
+  TxVector broadcast_{};
+  std::map<net::NodeId, std::uint8_t> unicast_;
+};
+
+}  // namespace mesh::rate

@@ -1,0 +1,120 @@
+#include "mesh/rate/rate_table.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "mesh/common/assert.hpp"
+
+namespace mesh::rate {
+namespace {
+
+// Logistic BER slope (dB). Shared by both families: the curves differ by
+// midpoint, not steepness — enough structure for rate adaptation without
+// pretending to be a demodulator.
+constexpr double kBerSlopeDb = 2.0;
+
+// The b/g ladder, ascending by bitrate. Midpoints: 2 Mbps anchored at
+// 25 dB (the legacy rate stays clean across the full 250 m lock range),
+// others offset by their 802.11 receiver-sensitivity deltas.
+constexpr RateInfo kDsssRates[] = {
+    {1e6, Modulation::Dsss, 22.0, "1M"},
+    {2e6, Modulation::Dsss, 25.0, "2M"},
+    {5.5e6, Modulation::Dsss, 29.0, "5.5M"},
+    {11e6, Modulation::Dsss, 31.0, "11M"},
+};
+constexpr RateInfo kBgRates[] = {
+    {1e6, Modulation::Dsss, 22.0, "1M"},
+    {2e6, Modulation::Dsss, 25.0, "2M"},
+    {5.5e6, Modulation::Dsss, 29.0, "5.5M"},
+    {6e6, Modulation::Ofdm, 28.0, "6M"},
+    {9e6, Modulation::Ofdm, 29.0, "9M"},
+    {11e6, Modulation::Dsss, 31.0, "11M"},
+    {12e6, Modulation::Ofdm, 31.0, "12M"},
+    {18e6, Modulation::Ofdm, 33.0, "18M"},
+    {24e6, Modulation::Ofdm, 36.0, "24M"},
+    {36e6, Modulation::Ofdm, 40.0, "36M"},
+    {48e6, Modulation::Ofdm, 45.0, "48M"},
+    {54e6, Modulation::Ofdm, 46.0, "54M"},
+};
+
+}  // namespace
+
+const char* toString(RateSetKind set) {
+  switch (set) {
+    case RateSetKind::Basic: return "basic";
+    case RateSetKind::Dsss: return "11b";
+    case RateSetKind::DsssOfdm: return "11bg";
+  }
+  return "?";
+}
+
+bool rateSetFromString(const char* text, RateSetKind& out) {
+  if (std::strcmp(text, "basic") == 0 || std::strcmp(text, "2mbps") == 0) {
+    out = RateSetKind::Basic;
+    return true;
+  }
+  if (std::strcmp(text, "b") == 0 || std::strcmp(text, "11b") == 0) {
+    out = RateSetKind::Dsss;
+    return true;
+  }
+  if (std::strcmp(text, "bg") == 0 || std::strcmp(text, "g") == 0 ||
+      std::strcmp(text, "11bg") == 0) {
+    out = RateSetKind::DsssOfdm;
+    return true;
+  }
+  return false;
+}
+
+RateTable RateTable::forSet(RateSetKind set, double basicRateBps) {
+  RateTable table;
+  switch (set) {
+    case RateSetKind::Basic:
+      for (const RateInfo& info : kDsssRates) {
+        if (info.bitRateBps == basicRateBps) table.entries_.push_back(info);
+      }
+      break;
+    case RateSetKind::Dsss:
+      table.entries_.assign(std::begin(kDsssRates), std::end(kDsssRates));
+      break;
+    case RateSetKind::DsssOfdm:
+      table.entries_.assign(std::begin(kBgRates), std::end(kBgRates));
+      break;
+  }
+  MESH_REQUIRE(!table.entries_.empty());
+  table.basic_ = 0;
+  for (std::size_t i = 0; i < table.entries_.size(); ++i) {
+    if (table.entries_[i].bitRateBps == basicRateBps) {
+      table.basic_ = static_cast<std::uint8_t>(i + 1);
+      break;
+    }
+  }
+  MESH_REQUIRE(table.basic_ != 0);
+  return table;
+}
+
+const RateInfo& RateTable::info(std::uint8_t code) const {
+  MESH_REQUIRE(code >= 1 && code <= size());
+  return entries_[code - 1];
+}
+
+SimTime RateTable::frameAirtime(std::size_t bytes, std::uint8_t code) const {
+  const RateInfo& rate = info(code);
+  const SimTime plcp = rate.modulation == Modulation::Dsss
+                           ? kDsssPlcpOverhead
+                           : kOfdmPlcpOverhead;
+  return frameAirtimeAt(bytes, rate.bitRateBps, plcp);
+}
+
+double RateTable::per(std::uint8_t code, double snrDb,
+                      std::size_t bytes) const {
+  const RateInfo& rate = info(code);
+  const double ber =
+      0.5 * std::erfc((snrDb - rate.berMidDb) / kBerSlopeDb);
+  if (ber <= 0.0) return 0.0;
+  const double bits = static_cast<double>(bytes) * 8.0;
+  // log1p keeps precision when ber is tiny (the common case in range).
+  const double per = -std::expm1(bits * std::log1p(-ber));
+  return per < 0.0 ? 0.0 : (per > 1.0 ? 1.0 : per);
+}
+
+}  // namespace mesh::rate

@@ -1,0 +1,21 @@
+#pragma once
+// TxVector: the per-frame transmission parameters handed from the rate
+// controller to the PHY.
+//
+// `code` indexes the run's RateTable (1-based). Code 0 is the *legacy*
+// path: airtime comes from PhyParams exactly as before the rate subsystem
+// existed and the channel draws no per-frame error — rate_control=fixed
+// rides this code everywhere, which is what keeps its traces bit-identical
+// to the pre-rate simulator.
+
+#include <cstdint>
+
+namespace mesh::rate {
+
+struct TxVector {
+  std::uint8_t code{0};
+
+  bool rateAware() const { return code != 0; }
+};
+
+}  // namespace mesh::rate

@@ -1,6 +1,7 @@
 #include "mesh/trace/trace_collector.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
@@ -99,7 +100,8 @@ void TraceCollector::enqueue(SimTime t, net::NodeId node,
 }
 
 void TraceCollector::txStart(SimTime t, net::NodeId node,
-                             const net::Packet* pkt, std::uint32_t frameBytes) {
+                             const net::Packet* pkt, std::uint32_t frameBytes,
+                             std::uint8_t rate) {
   TraceRecord record;
   record.timeNs = t.ns();
   record.pid = pkt != nullptr ? pidOf(*pkt) : 0;
@@ -108,6 +110,7 @@ void TraceCollector::txStart(SimTime t, net::NodeId node,
   record.type = static_cast<std::uint8_t>(EventType::TxStart);
   record.kind = static_cast<std::uint8_t>(
       pkt != nullptr ? pkt->kind() : net::PacketKind::MacControl);
+  record.rate = rate;
   append(record);
 }
 
@@ -174,13 +177,27 @@ void TraceCollector::drop(SimTime t, net::NodeId node, const net::Packet* pkt,
 }
 
 void TraceCollector::faultEvent(SimTime t, EventType type, FaultKind kind,
-                                net::NodeId node, net::NodeId peer) {
+                                net::NodeId node, net::NodeId peer,
+                                double lossRate, double powerDbm) {
   TraceRecord record;
   record.timeNs = t.ns();
   record.node = node;
   record.origin = peer;
   record.type = static_cast<std::uint8_t>(type);
   record.reason = static_cast<std::uint8_t>(kind);
+  // Fault records carry no packet, so sizeBytes is free to hold the one
+  // numeric fault parameter, fixed-point encoded: LossRamp target loss in
+  // millionths, InterferenceBurst power in milli-dBm offset by +300 dBm to
+  // stay unsigned. Inject only — clears have no parameters.
+  if (type == EventType::FaultInject) {
+    if (kind == FaultKind::LossRamp) {
+      record.sizeBytes =
+          static_cast<std::uint32_t>(std::lround(lossRate * 1e6));
+    } else if (kind == FaultKind::InterferenceBurst) {
+      record.sizeBytes =
+          static_cast<std::uint32_t>(std::lround((powerDbm + 300.0) * 1e3));
+    }
+  }
   append(record);
 }
 
@@ -191,17 +208,30 @@ std::string toJsonLine(const TraceRecord& record) {
   int n = 0;
   if (type == EventType::FaultInject || type == EventType::FaultClear) {
     const auto fault = static_cast<FaultKind>(record.reason);
+    // Inject records of parameterized kinds decode their fixed-point
+    // payload (see faultEvent) back into the natural unit.
+    char extra[48];
+    extra[0] = '\0';
+    if (type == EventType::FaultInject) {
+      if (fault == FaultKind::LossRamp) {
+        std::snprintf(extra, sizeof(extra), R"(,"loss":%.6g)",
+                      record.sizeBytes / 1e6);
+      } else if (fault == FaultKind::InterferenceBurst) {
+        std::snprintf(extra, sizeof(extra), R"(,"dbm":%.3f)",
+                      record.sizeBytes / 1e3 - 300.0);
+      }
+    }
     if (record.origin != net::kInvalidNode) {
       n = std::snprintf(
           buf, sizeof(buf),
-          R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s","peer":%u})",
+          R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s","peer":%u%s})",
           record.timeNs, toString(type), record.node, toString(fault),
-          record.origin);
+          record.origin, extra);
     } else {
-      n = std::snprintf(buf, sizeof(buf),
-                        R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s"})",
-                        record.timeNs, toString(type), record.node,
-                        toString(fault));
+      n = std::snprintf(
+          buf, sizeof(buf),
+          R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"fault":"%s"%s})",
+          record.timeNs, toString(type), record.node, toString(fault), extra);
     }
   } else if (type == EventType::MemberJoin) {
     n = std::snprintf(buf, sizeof(buf),
@@ -222,6 +252,15 @@ std::string toJsonLine(const TraceRecord& record) {
         record.timeNs, toString(type), record.node, record.pid,
         net::toString(kind), record.sizeBytes,
         toString(static_cast<DropReason>(record.reason)));
+  } else if (record.rate != 0) {
+    // Only TxStart records of rate-aware frames set `rate`; fixed-rate
+    // traces never reach this branch, keeping their bytes unchanged.
+    n = std::snprintf(
+        buf, sizeof(buf),
+        R"({"t":%)" PRId64
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"rate":%u})",
+        record.timeNs, toString(type), record.node, record.pid,
+        net::toString(kind), record.sizeBytes, record.rate);
   } else {
     n = std::snprintf(
         buf, sizeof(buf),

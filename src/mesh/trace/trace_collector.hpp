@@ -47,9 +47,10 @@ class TraceCollector {
                    net::GroupId group);
   void memberJoin(SimTime t, net::NodeId node, net::GroupId group);
   void enqueue(SimTime t, net::NodeId node, const net::Packet& pkt);
-  // `pkt` may be null for MAC control frames (RTS/CTS/ACK).
+  // `pkt` may be null for MAC control frames (RTS/CTS/ACK). `rate` is the
+  // frame's TxVector code (0 = legacy/basic path, omitted from the JSONL).
   void txStart(SimTime t, net::NodeId node, const net::Packet* pkt,
-               std::uint32_t frameBytes);
+               std::uint32_t frameBytes, std::uint8_t rate = 0);
   void txEnd(SimTime t, net::NodeId node, const net::Packet* pkt,
              std::uint32_t frameBytes);
   void rxOk(SimTime t, net::NodeId node, const net::Packet& pkt);
@@ -63,8 +64,12 @@ class TraceCollector {
             net::PacketKind kind, std::uint32_t sizeBytes, DropReason reason);
   // Fault subsystem: `type` is FaultInject or FaultClear; `peer` is the
   // second link endpoint for link faults (kInvalidNode otherwise).
+  // `lossRate` (LossRamp) and `powerDbm` (InterferenceBurst) are recorded
+  // on inject events only — they make the trace a complete fault timeline
+  // that `meshtrace faults` can turn back into a [faults] config section.
   void faultEvent(SimTime t, EventType type, FaultKind kind, net::NodeId node,
-                  net::NodeId peer);
+                  net::NodeId peer, double lossRate = 0.0,
+                  double powerDbm = 0.0);
 
   std::uint64_t recordCount() const { return total_; }
 

@@ -28,6 +28,7 @@ constexpr const char* kDropNames[] = {
     "fault_node_down",
     "fault_link_down",
     "fault_probe_blackhole",
+    "phy_rate_decode",
 };
 
 constexpr const char* kFaultNames[] = {

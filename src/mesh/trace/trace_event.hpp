@@ -57,6 +57,8 @@ enum class DropReason : std::uint8_t {
   FaultNodeDown = 13,      // frame hit a crashed node's radio (tx or rx)
   FaultLinkDown = 14,      // delivery suppressed by a link blackout/loss ramp
   FaultProbeBlackhole = 15,// probe swallowed by an injected probe blackhole
+  // Rate subsystem (src/mesh/rate).
+  PhyRateDecode = 16,      // frame failed the per-rate SNR→PER draw
 };
 
 // What a FaultInject/FaultClear record describes. Lives here (not in
@@ -92,7 +94,8 @@ struct TraceRecord {
   std::uint8_t type{0};    // EventType
   std::uint8_t kind{0};    // net::PacketKind
   std::uint8_t reason{0};  // DropReason (Drop) or FaultKind (FaultInject/Clear)
-  std::uint8_t pad[7]{};   // explicit zero padding: spill files are memcpy'd
+  std::uint8_t rate{0};    // TxVector code on TxStart (0 = legacy/basic path)
+  std::uint8_t pad[6]{};   // explicit zero padding: spill files are memcpy'd
 };
 static_assert(sizeof(TraceRecord) == 32, "compact fixed-layout trace record");
 

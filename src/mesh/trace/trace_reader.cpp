@@ -191,6 +191,21 @@ TraceReadResult readTraceFile(const std::string& path) {
         return fail("drop record without a known reason");
       }
     }
+    if (record.type == EventType::FaultInject ||
+        record.type == EventType::FaultClear) {
+      if (!jsonFindString(line, "fault", text) ||
+          !faultKindFromString(text.c_str(), record.fault)) {
+        return fail("fault record without a known kind");
+      }
+      if (jsonFindUint(line, "peer", u)) {
+        record.peer = static_cast<net::NodeId>(u);
+      }
+      jsonFindDouble(line, "loss", record.loss);
+      jsonFindDouble(line, "dbm", record.dbm);
+    }
+    if (jsonFindUint(line, "rate", u)) {
+      record.rate = static_cast<std::uint8_t>(u);
+    }
     trace.records.push_back(record);
   }
   std::fclose(in);
@@ -200,6 +215,76 @@ TraceReadResult readTraceFile(const std::string& path) {
   }
   result.trace = std::move(trace);
   return result;
+}
+
+namespace {
+
+// Nanoseconds -> the shortest decimal-seconds string that parses back to
+// the same instant ("12", "12.5", "0.0305"). The config grammar takes
+// seconds, so this is what makes the emitted section round-trip exactly.
+std::string secondsString(std::int64_t ns) {
+  char buf[40];
+  const std::int64_t whole = ns / 1000000000;
+  const std::int64_t frac = ns % 1000000000;
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(whole));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%lld.%09lld", static_cast<long long>(whole),
+                static_cast<long long>(frac));
+  std::string out{buf};
+  while (out.back() == '0') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::string faultSectionFromTrace(const ParsedTrace& trace) {
+  std::string out = "[faults]\n";
+  std::vector<bool> claimed(trace.records.size(), false);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const ParsedRecord& r = trace.records[i];
+    if (r.type != EventType::FaultInject) continue;
+    // Pair with the first later unclaimed clear of the same fault identity;
+    // first-match is correct because the injector never overlaps two
+    // instances of the identical (kind, node, peer) fault.
+    std::int64_t clearNs = -1;
+    for (std::size_t j = i + 1; j < trace.records.size(); ++j) {
+      const ParsedRecord& c = trace.records[j];
+      if (claimed[j] || c.type != EventType::FaultClear) continue;
+      if (c.fault != r.fault || c.node != r.node || c.peer != r.peer) continue;
+      claimed[j] = true;
+      clearNs = c.timeNs;
+      break;
+    }
+    std::string line = "event = ";
+    line += toString(r.fault);
+    char mid[64];
+    switch (r.fault) {
+      case FaultKind::LinkBlackout:
+        std::snprintf(mid, sizeof(mid), " %u-%u", r.node, r.peer);
+        break;
+      case FaultKind::LossRamp:
+        std::snprintf(mid, sizeof(mid), " %u-%u %.6g", r.node, r.peer, r.loss);
+        break;
+      case FaultKind::InterferenceBurst:
+        std::snprintf(mid, sizeof(mid), " %u %.6g", r.node, r.dbm);
+        break;
+      default:  // NodeCrash, ProbeBlackhole: just the victim
+        std::snprintf(mid, sizeof(mid), " %u", r.node);
+        break;
+    }
+    line += mid;
+    line += " @ ";
+    line += secondsString(r.timeNs);
+    if (clearNs >= 0) {
+      line += " +";
+      line += secondsString(clearNs - r.timeNs);
+    }
+    line += '\n';
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace mesh::trace

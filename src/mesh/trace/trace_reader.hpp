@@ -37,6 +37,13 @@ struct ParsedRecord {
   net::NodeId origin{net::kInvalidNode};
   net::GroupId group{0};
   DropReason reason{DropReason::Unknown};
+  // FaultInject/FaultClear records only.
+  FaultKind fault{FaultKind::NodeCrash};
+  net::NodeId peer{net::kInvalidNode};
+  double loss{0.0};  // LossRamp target (inject records)
+  double dbm{0.0};   // InterferenceBurst power (inject records)
+  // TxStart only: the frame's TxVector code (0 = legacy/basic).
+  std::uint8_t rate{0};
 };
 
 struct ParsedTrace {
@@ -55,5 +62,14 @@ struct TraceReadResult {
 };
 
 TraceReadResult readTraceFile(const std::string& path);
+
+// Reconstructs a ready-to-paste `[faults]` config section from the trace's
+// FaultInject/FaultClear records: each inject is paired with the first
+// later clear of the same (kind, node, peer) to recover its window; an
+// unpaired inject is emitted as permanent (no `+<dur_s>`). Returns the
+// section text ("[faults]\n" plus one `event = ...` line per fault, lines
+// matching the config grammar exactly), or just the header when the trace
+// recorded no faults.
+std::string faultSectionFromTrace(const ParsedTrace& trace);
 
 }  // namespace mesh::trace

@@ -2,10 +2,15 @@
 //
 //   $ meshtrace summary <trace.jsonl>...
 //   $ meshtrace verify <results.jsonl> [--trace-dir DIR] [--tol X]
+//   $ meshtrace faults <trace.jsonl>
 //
 // `summary` recomputes PDR, mean end-to-end delay, throughput, and probe
 // overhead from a trace alone — an accounting path fully independent of
 // the harness counters — and prints them with the drop-reason breakdown.
+//
+// `faults` extracts the fault timeline (fault_inject / fault_clear
+// records) from one trace and re-emits it as a ready-to-paste `[faults]`
+// config section, so any faulty run can be replayed from its trace alone.
 //
 // `verify` joins every trace referenced by a runner results file (the
 // "trace" field written when a sweep runs with --trace DIR) against the
@@ -33,15 +38,18 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s summary <trace.jsonl>...\n"
                "       %s verify <results.jsonl> [--trace-dir DIR] [--tol X]\n"
+               "       %s faults <trace.jsonl>\n"
                "  summary      recompute PDR/delay/throughput/overhead from "
                "traces\n"
                "  verify       diff trace-derived metrics against the runner's "
                "results\n"
+               "  faults       re-emit the trace's fault timeline as a "
+               "[faults] config section\n"
                "  --trace-dir  re-root the \"trace\" paths found in the "
                "results file\n"
                "  --tol X      relative tolerance for double fields "
                "(default 0 = bit-exact)\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
 }
 
 int runSummary(int argc, char** argv) {
@@ -88,6 +96,21 @@ int runSummary(int argc, char** argv) {
     }
   }
   return failed ? 1 : 0;
+}
+
+int runFaults(int argc, char** argv) {
+  if (argc != 1) {
+    std::fprintf(stderr, "faults needs exactly one trace file\n");
+    return 2;
+  }
+  const std::string path = argv[0];
+  const mesh::trace::TraceReadResult read = mesh::trace::readTraceFile(path);
+  if (!read.trace) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), read.error.c_str());
+    return 1;
+  }
+  std::fputs(mesh::trace::faultSectionFromTrace(*read.trace).c_str(), stdout);
+  return 0;
 }
 
 int runVerify(int argc, char** argv) {
@@ -175,6 +198,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "verify") == 0) {
     return runVerify(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "faults") == 0) {
+    return runFaults(argc - 2, argv + 2);
   }
   std::fprintf(stderr, "unknown subcommand: %s\n", argv[1]);
   usage(argv[0]);
