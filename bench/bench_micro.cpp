@@ -9,7 +9,9 @@
 #include <memory>
 #include <vector>
 
+#include "mesh/channelplan/channel_plan.hpp"
 #include "mesh/common/rng.hpp"
+#include "mesh/harness/scenario.hpp"
 #include "mesh/metrics/loss_window.hpp"
 #include "mesh/metrics/metric.hpp"
 #include "mesh/metrics/neighbor_table.hpp"
@@ -370,6 +372,82 @@ void BM_TransmitFanout(benchmark::State& state) {
       static_cast<std::int64_t>(rig.channel->stats().deliveriesScheduled));
 }
 BENCHMARK(BM_TransmitFanout)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+// Frame dispatch across orthogonal collision domains. 150 radios at the
+// paper's density are striped over `channels` domains (one Channel +
+// Simulator each); every iteration transmits one frame per domain and
+// drains the arrivals. At channels=1 this is BM_ChannelTransmit plus the
+// plan overhead; at channels=3 each frame fans out to a third of the
+// receivers, so per-frame cost must drop — that gap is the mechanism the
+// multi-channel scaling win (bench_scale) is made of.
+void BM_MultiChannelTransmit(benchmark::State& state) {
+  const auto channelCount = static_cast<std::size_t>(state.range(0));
+  const int n = 150;
+  phy::PhyParams params;
+  const double side = 1000.0 * std::sqrt(n / 50.0);
+  std::vector<Vec2> positions;
+  Rng place{13};
+  for (int i = 0; i < n; ++i) {
+    positions.push_back({place.uniform(0.0, side), place.uniform(0.0, side)});
+  }
+  const channelplan::ChannelPlan plan = channelplan::makeChannelPlan(
+      channelplan::AssignStrategy::Static, channelCount, positions, 250.0);
+
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::vector<std::unique_ptr<phy::Channel>> channels;
+  std::vector<std::vector<std::unique_ptr<phy::Radio>>> radios(channelCount);
+  for (std::size_t d = 0; d < channelCount; ++d) {
+    sims.push_back(std::make_unique<sim::Simulator>());
+    auto model = std::make_unique<phy::GeometricLinkModel>(
+        params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+        std::make_unique<phy::RayleighFading>());
+    channels.push_back(std::make_unique<phy::Channel>(
+        *sims[d], std::move(model), Rng{14}.fork("channel", d)));
+    for (const net::NodeId id : plan.domainNodes(d)) {
+      radios[d].push_back(
+          std::make_unique<phy::Radio>(*sims[d], id, params));
+      channels[d]->attach(*radios[d].back());
+    }
+  }
+  auto frame = phy::makeFrame(std::vector<std::uint8_t>(540, 0), nullptr);
+  const SimTime airtime = params.frameAirtime(540);
+  std::size_t tx = 0;
+  for (auto _ : state) {
+    for (std::size_t d = 0; d < channelCount; ++d) {
+      channels[d]->transmit(*radios[d][tx % radios[d].size()], frame,
+                            airtime);
+      sims[d]->run();  // drain the scheduled arrivals
+    }
+    ++tx;
+  }
+  std::uint64_t delivered = 0;
+  for (const auto& channel : channels) {
+    delivered += channel->stats().deliveriesScheduled;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_MultiChannelTransmit)->Arg(1)->Arg(3);
+
+// Full scaled-topology construction at the sizes the multi-channel
+// subsystem exists for: grid placement (O(n), no rejection loop), a
+// 3-channel plan, and per-domain channel/node wiring. This is the
+// bench_scale setup path under the perf-smoke gate — a reintroduced
+// O(n²) placement or plan pass shows up here long before anyone runs a
+// 5000-node sweep by hand.
+void BM_ScaleTopologyBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    harness::ScenarioConfig config = harness::scaledSimulationScenario(n);
+    config.seed = 15;
+    config.channels = 3;
+    Rng groupRng = Rng{config.seed}.fork("groups");
+    config.groups = harness::makeStripedGroups(n, 3, 1, 10, 1, groupRng);
+    harness::Simulation sim{config};
+    benchmark::DoNotOptimize(sim.plan()->maxSameChannelNeighbors);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScaleTopologyBuild)->Arg(2000)->Arg(5000);
 
 // Carrier-sense query cost with N concurrent arrivals: the MAC polls
 // mediumBusy() far more often than the arrival set changes, so this must

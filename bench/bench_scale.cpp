@@ -13,6 +13,8 @@
 
 #include "bench_common.hpp"
 
+#include <cmath>
+
 int main(int argc, char** argv) {
   using namespace mesh;
   using namespace mesh::bench;
@@ -42,10 +44,53 @@ int main(int argc, char** argv) {
                 rows[0].pdr.mean(), rows[0].throughputBps.mean(),
                 rows[1].pdr.mean(), rows[1].throughputBps.mean());
   }
+  // Multi-channel extension (DESIGN §11): the same footprint packed to 3x
+  // the paper's density, carried by one shared channel vs. three
+  // orthogonal collision domains. Groups are striped per channel
+  // (channel-local multicast) and identical in both runs, so the offered
+  // load matches; the single channel has to absorb every JOIN-QUERY flood
+  // and CBR frame in one collision domain while channels=3 splits them
+  // across independent domains driven by parallel domain workers. The
+  // delivered-throughput gap is the subsystem's reason to exist.
+  const std::size_t denseCounts[] = {2000, 5000};
+  std::printf(
+      "\nMulti-channel — 3x density footprint, 1 vs 3 orthogonal channels "
+      "(ODMRP_SPP)\n");
+  std::printf("%6s  %12s  %10s  %12s  %10s\n", "nodes", "1ch thrpt",
+              "1ch pdr", "3ch thrpt", "3ch pdr");
+  for (const std::size_t n : denseCounts) {
+    const auto denseScenario = [n](std::size_t channels) {
+      return [n, channels](std::uint64_t seed) {
+        harness::ScenarioConfig config = harness::scaledSimulationScenario(n);
+        // Shrink the area by the channel budget: each of the 3 collision
+        // domains then sits at the paper's 50 nodes/km².
+        config.areaWidthM /= std::sqrt(3.0);
+        config.areaHeightM /= std::sqrt(3.0);
+        config.seed = seed;
+        config.channels = channels;
+        config.domainWorkers = channels;
+        config.traffic.start = SimTime::seconds(std::int64_t{5});
+        Rng groupRng = Rng{seed}.fork("groups");
+        config.groups =
+            harness::makeStripedGroups(config.nodeCount, 3, 1, 10, 1, groupRng);
+        return config;
+      };
+    };
+    const std::vector<harness::ProtocolSpec> spp = {
+        harness::ProtocolSpec::with(metrics::MetricKind::Spp)};
+    const auto one = harness::runProtocolComparison(spp, denseScenario(1), options);
+    const auto three =
+        harness::runProtocolComparison(spp, denseScenario(3), options);
+    std::printf("%6zu  %10.0f b/s  %10.4f  %10.0f b/s  %10.4f\n", n,
+                one[0].throughputBps.mean(), one[0].pdr.mean(),
+                three[0].throughputBps.mean(), three[0].pdr.mean());
+  }
   printPaperReference(
       "Section 4.1 (scale extension)",
       "the paper's density is 50 nodes/km²; at 500 nodes the mesh spans "
       "~3.2 km × 3.2 km and multicast routes cross many more hops, so PDR "
-      "below the 50-node value is expected — it must stay well above zero");
+      "below the 50-node value is expected — it must stay well above zero; "
+      "the multi-channel rows must show channels=3 delivering measurably "
+      "more than channels=1 at the same dense footprint");
   return 0;
 }

@@ -1,0 +1,99 @@
+#include "mesh/channelplan/channel_plan.hpp"
+
+#include <cstring>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/phy/spatial_grid.hpp"
+
+namespace mesh::channelplan {
+
+const char* toString(AssignStrategy strategy) {
+  switch (strategy) {
+    case AssignStrategy::Static: return "static";
+    case AssignStrategy::LeastCongested: return "least-congested";
+  }
+  return "?";
+}
+
+bool assignStrategyFromString(const char* text, AssignStrategy& out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "static") == 0) {
+    out = AssignStrategy::Static;
+    return true;
+  }
+  if (std::strcmp(text, "least-congested") == 0 ||
+      std::strcmp(text, "least_congested") == 0) {
+    out = AssignStrategy::LeastCongested;
+    return true;
+  }
+  return false;
+}
+
+std::vector<net::NodeId> ChannelPlan::domainNodes(std::size_t channel) const {
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == channel) nodes.push_back(static_cast<net::NodeId>(i));
+  }
+  return nodes;
+}
+
+namespace {
+
+void assignLeastCongested(ChannelPlan& plan, const std::vector<Vec2>& positions,
+                          double neighborRadiusM) {
+  const std::size_t n = positions.size();
+  phy::SpatialGrid grid;
+  grid.build(positions, neighborRadiusM);
+  const double radius2 = neighborRadiusM * neighborRadiusM;
+
+  std::vector<std::uint32_t> candidates;
+  std::vector<std::uint32_t> sameChannel(plan.channels, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Count already-assigned neighbors (ids < i) per channel. The grid is
+    // a conservative superset; the exact disk test keeps the counts (and
+    // the resulting plan) independent of grid cell layout.
+    for (auto& c : sameChannel) c = 0;
+    candidates.clear();
+    grid.candidatesWithin(positions[i], neighborRadiusM, candidates);
+    for (const std::uint32_t j : candidates) {
+      if (j >= i) continue;
+      if (positions[i].distanceSquaredTo(positions[j]) > radius2) continue;
+      ++sameChannel[plan.assignment[j]];
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < plan.channels; ++c) {
+      if (sameChannel[c] < sameChannel[best]) best = c;
+    }
+    plan.assignment[i] = static_cast<std::uint8_t>(best);
+    if (sameChannel[best] > plan.maxSameChannelNeighbors) {
+      plan.maxSameChannelNeighbors = sameChannel[best];
+    }
+  }
+}
+
+}  // namespace
+
+ChannelPlan makeChannelPlan(AssignStrategy strategy, std::size_t channels,
+                            const std::vector<Vec2>& positions,
+                            double neighborRadiusM) {
+  MESH_REQUIRE(channels >= 1 && channels <= 255);
+  MESH_REQUIRE(neighborRadiusM > 0.0);
+  ChannelPlan plan;
+  plan.channels = channels;
+  plan.strategy = strategy;
+  plan.assignment.assign(positions.size(), 0);
+  if (channels > 1) {
+    if (strategy == AssignStrategy::Static) {
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        plan.assignment[i] = static_cast<std::uint8_t>(i % channels);
+      }
+    } else {
+      assignLeastCongested(plan, positions, neighborRadiusM);
+    }
+  }
+  plan.domainSizes.assign(channels, 0);
+  for (const std::uint8_t c : plan.assignment) ++plan.domainSizes[c];
+  return plan;
+}
+
+}  // namespace mesh::channelplan

@@ -1,0 +1,72 @@
+#pragma once
+// ChannelPlan: partition the PHY into orthogonal collision domains.
+//
+// Real mesh deployments break the single-channel scaling wall by putting
+// radios on orthogonal 802.11 channels: frames only contend with (and are
+// only heard by) radios on the same channel. A ChannelPlan is the static
+// map node -> channel for one run. The harness instantiates one
+// phy::Channel per plan entry (carrier sense, NAV, busy-power sums,
+// reachability rows and the SpatialGrid all become per-domain state for
+// free — the Channel class already scopes them to its attached radios),
+// so a plan with C channels yields C fully independent collision domains.
+//
+// Assignment is decided once at build time from the node positions — the
+// simulator has no channel-switching mid-run (a future gateway/switching
+// extension would ride the DomainScheduler's barrier protocol; see
+// domain_scheduler.hpp). Two strategies:
+//
+//  * Static     — channel = node id mod C. With the shuffled node->cell
+//                 placement of scaledSimulationScenario this is a uniform
+//                 random spatial thinning: each domain keeps ~1/C of the
+//                 paper's node density.
+//  * LeastCongested — greedy in ascending node id: each node picks the
+//                 channel with the fewest already-assigned neighbors
+//                 within `neighborRadiusM` (ties to the lowest channel),
+//                 balancing per-domain contention instead of per-domain
+//                 population. Uses the same uniform grid as the channel's
+//                 reachability builds, so planning stays O(n·k).
+//
+// Both strategies are pure functions of (positions, C): deterministic,
+// no RNG draws, identical across job counts and worker counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/common/vec2.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::channelplan {
+
+enum class AssignStrategy : std::uint8_t { Static = 0, LeastCongested = 1 };
+
+const char* toString(AssignStrategy strategy);
+// Accepts "static" and "least-congested" (also "least_congested").
+bool assignStrategyFromString(const char* text, AssignStrategy& out);
+
+struct ChannelPlan {
+  std::size_t channels{1};
+  AssignStrategy strategy{AssignStrategy::Static};
+  std::vector<std::uint8_t> assignment;       // node id -> channel index
+  std::vector<std::uint32_t> domainSizes;     // nodes per channel
+  // LeastCongested telemetry: the largest same-channel neighbor count any
+  // node ended up with (the quantity the greedy pass minimizes). 0 for
+  // Static plans.
+  std::uint32_t maxSameChannelNeighbors{0};
+
+  std::uint8_t channelOf(net::NodeId node) const { return assignment[node]; }
+  // Node ids on `channel`, ascending.
+  std::vector<net::NodeId> domainNodes(std::size_t channel) const;
+};
+
+// Builds the node -> channel map. `positions` sizes the plan; it is only
+// read by LeastCongested (Static ignores geometry entirely).
+// `neighborRadiusM` is the contention radius used to count same-channel
+// neighbors — callers pass the nominal reception range (250 m for the
+// paper's PHY).
+ChannelPlan makeChannelPlan(AssignStrategy strategy, std::size_t channels,
+                            const std::vector<Vec2>& positions,
+                            double neighborRadiusM);
+
+}  // namespace mesh::channelplan

@@ -227,6 +227,33 @@ class Parser {
       }
       return {};
     }
+    if (key == "channels") {
+      const auto n = number(value);
+      if (!n || *n < 1 || *n > 255) return "channels must be 1..255";
+      config.channels = static_cast<std::size_t>(*n);
+      return {};
+    }
+    if (key == "channel_assign") {
+      const std::string a = lower(value);
+      if (!channelplan::assignStrategyFromString(a.c_str(),
+                                                 config.channelAssign)) {
+        return "channel_assign must be static or least-congested";
+      }
+      return {};
+    }
+    if (key == "domain_workers") {
+      const auto n = number(value);
+      if (!n || *n < 1) return "domain_workers must be a positive integer";
+      config.domainWorkers = static_cast<std::size_t>(*n);
+      return {};
+    }
+    if (key == "placement") {
+      const std::string p = lower(value);
+      if (p == "uniform") config.placement = Placement::UniformRejection;
+      else if (p == "grid") config.placement = Placement::Grid;
+      else return "placement must be uniform or grid";
+      return {};
+    }
     return "unknown [scenario] key '" + key + "'";
   }
 

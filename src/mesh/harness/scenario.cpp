@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "mesh/channelplan/domain_scheduler.hpp"
 #include "mesh/common/assert.hpp"
 #include "mesh/phy/fading.hpp"
 #include "mesh/phy/propagation.hpp"
@@ -36,6 +37,10 @@ ScenarioConfig scaledSimulationScenario(std::size_t nodeCount) {
       1000.0 * std::sqrt(static_cast<double>(nodeCount) / 50.0);
   config.areaWidthM = side;
   config.areaHeightM = side;
+  // Rejection sampling is O(n²) per attempt with a vanishing acceptance
+  // rate at scale; the grid generator is O(n) and connected by
+  // construction at this (constant) density.
+  config.placement = Placement::Grid;
   return config;
 }
 
@@ -63,6 +68,44 @@ std::vector<GroupSpec> makeRandomGroups(std::size_t nodeCount,
   return groups;
 }
 
+std::vector<GroupSpec> makeStripedGroups(std::size_t nodeCount,
+                                         std::size_t channels,
+                                         std::size_t groupsPerChannel,
+                                         std::size_t membersPerGroup,
+                                         std::size_t sourcesPerGroup,
+                                         Rng& rng) {
+  MESH_REQUIRE(channels >= 1);
+  std::vector<GroupSpec> groups;
+  for (std::size_t c = 0; c < channels; ++c) {
+    // This residue class is exactly the node set of channel c under the
+    // Static (id mod C) assignment; shuffle it independently per channel.
+    std::vector<net::NodeId> ids;
+    for (std::size_t i = c; i < nodeCount; i += channels) {
+      ids.push_back(static_cast<net::NodeId>(i));
+    }
+    MESH_REQUIRE(groupsPerChannel * (membersPerGroup + sourcesPerGroup) <=
+                 ids.size());
+    for (std::size_t i = ids.size() - 1; i > 0; --i) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniformInt(std::uint64_t{i + 1}));
+      std::swap(ids[i], ids[j]);
+    }
+    std::size_t next = 0;
+    for (std::size_t g = 0; g < groupsPerChannel; ++g) {
+      GroupSpec spec;
+      spec.group = static_cast<net::GroupId>(g * channels + c + 1);
+      for (std::size_t s = 0; s < sourcesPerGroup; ++s) {
+        spec.sources.push_back(ids[next++]);
+      }
+      for (std::size_t m = 0; m < membersPerGroup; ++m) {
+        spec.members.push_back(ids[next++]);
+      }
+      groups.push_back(std::move(spec));
+    }
+  }
+  return groups;
+}
+
 Simulation::Simulation(ScenarioConfig config) : config_{std::move(config)} {
   build();
 }
@@ -73,6 +116,55 @@ std::vector<Vec2> Simulation::placeNodes(Rng& rng) const {
   for (std::size_t i = 0; i < config_.nodeCount; ++i) {
     positions.push_back(Vec2{rng.uniform(0.0, config_.areaWidthM),
                              rng.uniform(0.0, config_.areaHeightM)});
+  }
+  return positions;
+}
+
+std::vector<Vec2> Simulation::placeNodesGrid(Rng& rng) const {
+  const std::size_t n = config_.nodeCount;
+  MESH_REQUIRE(n > 0);
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  const double cellW = config_.areaWidthM / static_cast<double>(cols);
+  const double cellH = config_.areaHeightM / static_cast<double>(rows);
+  // One node per cell of the row-major prefix 0..n-1 (a connected region
+  // of the grid). The node -> cell map is shuffled so node ids carry no
+  // spatial information: id-striped channel plans and group picks then
+  // sample space uniformly, like the rejection path they replace.
+  std::vector<std::size_t> cells(n);
+  std::iota(cells.begin(), cells.end(), std::size_t{0});
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniformInt(std::uint64_t{i + 1}));
+    std::swap(cells[i], cells[j]);
+  }
+  std::vector<Vec2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cell = cells[i];
+    const double cx = (static_cast<double>(cell % cols) + 0.5) * cellW;
+    const double cy = (static_cast<double>(cell / cols) + 0.5) * cellH;
+    // Jitter keeps each node inside the central half of its cell, so two
+    // nodes in adjacent occupied cells sit at most
+    // hypot(1.5·cell, 0.5·cell) apart — ~224 m at the paper's density,
+    // inside the 250 m disk range. Connectivity needs no rejection loop.
+    positions.push_back(Vec2{cx + rng.uniform(-cellW / 4.0, cellW / 4.0),
+                             cy + rng.uniform(-cellH / 4.0, cellH / 4.0)});
+  }
+  return positions;
+}
+
+std::vector<Vec2> Simulation::placePositions(Rng& rng) const {
+  if (config_.placement == Placement::Grid) return placeNodesGrid(rng);
+  std::vector<Vec2> positions = placeNodes(rng);
+  if (config_.ensureConnected) {
+    // 250 m is the nominal (fading-free) reception range.
+    int attempts = 0;
+    while (!diskGraphConnected(positions, 250.0)) {
+      positions = placeNodes(rng);
+      MESH_REQUIRE(++attempts < 1000);
+    }
   }
   return positions;
 }
@@ -123,6 +215,34 @@ void Simulation::build() {
     }
   }
 
+  // MESH_CHANNELS / MESH_DOMAIN_WORKERS: the channel plan's A/B escape
+  // hatches, same pattern.
+  if (const char* env = std::getenv("MESH_CHANNELS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 255) {
+      config_.channels = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "MESH_CHANNELS=%s ignored (want 1..255)\n", env);
+    }
+  }
+  if (const char* env = std::getenv("MESH_DOMAIN_WORKERS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      config_.domainWorkers = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "MESH_DOMAIN_WORKERS=%s ignored (want >= 1)\n", env);
+    }
+  }
+
+  if (config_.channels > 1 || config_.forceChannelPlan) {
+    buildMultiChannel(rng);
+    return;
+  }
+
   if (!config_.tracePath.empty()) {
     trace_ = std::make_unique<trace::TraceCollector>(config_.tracePath +
                                                      ".spill");
@@ -163,15 +283,7 @@ void Simulation::build() {
         std::make_unique<phy::TwoRayGroundModel>(), std::move(fading));
   } else {
     Rng placeRng = rng.fork("placement");
-    positions_ = placeNodes(placeRng);
-    if (config_.ensureConnected) {
-      // 250 m is the nominal (fading-free) reception range.
-      int attempts = 0;
-      while (!diskGraphConnected(positions_, 250.0)) {
-        positions_ = placeNodes(placeRng);
-        MESH_REQUIRE(++attempts < 1000);
-      }
-    }
+    positions_ = placePositions(placeRng);
     std::unique_ptr<phy::FadingModel> fading;
     if (config_.rayleighFading) {
       fading = std::make_unique<phy::RayleighFading>();
@@ -281,13 +393,320 @@ void Simulation::build() {
   }
 }
 
+void Simulation::buildMultiChannel(Rng& rng) {
+  // Orthogonal collision domains need static geometry: the plan is decided
+  // once from positions, and a custom or mobile link model would move
+  // state across domains mid-run.
+  MESH_REQUIRE(!config_.linkModelFactory);
+  MESH_REQUIRE(config_.mobilityMaxSpeedMps == 0.0);
+  MESH_REQUIRE(config_.channels >= 1 && config_.channels <= 255);
+  multiChannel_ = true;
+  const std::size_t domains = config_.channels;
+
+  if (config_.protocol.metric) {
+    metric_ = metrics::makeMetric(*config_.protocol.metric,
+                                  config_.traffic.payloadBytes);
+  }
+
+  {
+    // Same fork label and draw sequence as the legacy static path, so a
+    // one-domain plan reproduces its topology bit-for-bit.
+    Rng placeRng = rng.fork("placement");
+    positions_ = placePositions(placeRng);
+  }
+  // 250 m: the nominal reception range — the radius inside which two
+  // same-channel nodes contend.
+  plan_ = channelplan::makeChannelPlan(config_.channelAssign, domains,
+                                       positions_, 250.0);
+
+  if (config_.rateControl != rate::ControlKind::Fixed ||
+      config_.rateSet != rate::RateSetKind::Basic) {
+    rateTable_ = std::make_unique<rate::RateTable>(rate::RateTable::forSet(
+        config_.rateSet, config_.node.phy.bitRateBps));
+  }
+
+  for (std::size_t d = 0; d < domains; ++d) {
+    if (!config_.tracePath.empty()) {
+      auto collector = std::make_unique<trace::TraceCollector>(
+          config_.tracePath + ".spill." + std::to_string(d));
+      // Tag 0 on one-domain plans keeps record bytes legacy-identical.
+      if (domains > 1) {
+        collector->setChannelTag(static_cast<std::uint8_t>(d + 1));
+      }
+      domainTraces_.push_back(std::move(collector));
+    }
+    domainSims_.push_back(std::make_unique<sim::Simulator>());
+    domainRegistries_.push_back(std::make_unique<trace::CounterRegistry>());
+    std::unique_ptr<phy::FadingModel> fading;
+    if (config_.rayleighFading) {
+      fading = std::make_unique<phy::RayleighFading>();
+    } else {
+      fading = std::make_unique<phy::NoFading>();
+    }
+    // Every domain's model indexes the full position vector by global node
+    // id; a Channel only consults radios attached to it, so carrier sense,
+    // NAV, busy power and reachability are per-domain state for free.
+    auto linkModel = std::make_unique<phy::GeometricLinkModel>(
+        config_.node.phy, positions_,
+        std::make_unique<phy::TwoRayGroundModel>(), std::move(fading));
+    // fork("channel", 0) == fork("channel"): domain 0 draws the legacy
+    // channel stream, the anchor of the one-domain identity.
+    channels_.push_back(std::make_unique<phy::Channel>(
+        *domainSims_[d], std::move(linkModel), rng.fork("channel", d)));
+    channels_[d]->setSpatialIndex(config_.spatialIndex);
+    if (!domainTraces_.empty()) channels_[d]->setTrace(domainTraces_[d].get());
+    if (rateTable_ != nullptr) channels_[d]->setRateTable(rateTable_.get());
+  }
+
+  MeshNodeConfig nodeConfig = config_.node;
+  nodeConfig.probeRateScale = config_.protocol.probeRateScale;
+  nodeConfig.treeRouting = config_.protocol.routing == Routing::Tree;
+  nodeConfig.adaptiveProbing.enabled = config_.protocol.adaptiveProbing;
+  nodeConfig.rateControl = config_.rateControl;
+  nodeConfig.rateTable = rateTable_.get();
+  nodes_.reserve(config_.nodeCount);
+  for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+    const auto id = static_cast<net::NodeId>(i);
+    const std::size_t d = plan_.channelOf(id);
+    trace::TraceCollector* collector =
+        domainTraces_.empty() ? nullptr : domainTraces_[d].get();
+    nodes_.push_back(std::make_unique<MeshNode>(
+        *domainSims_[d], *channels_[d], id, nodeConfig, metric_.get(),
+        rng.fork("node", i), collector));
+    // Both registries share the node's counter slots: registry_ keeps the
+    // run-level taxonomy summing across domains, the domain registry is
+    // what per-channel results and the recovery analyzers read.
+    nodes_.back()->registerCounters(registry_);
+    nodes_.back()->registerCounters(*domainRegistries_[d]);
+  }
+
+  for (const GroupSpec& spec : config_.groups) {
+    for (const net::NodeId member : spec.members) {
+      nodes_.at(member)->joinGroup(spec.group);
+    }
+    for (const net::NodeId source : spec.sources) {
+      app::CbrConfig cbr = config_.traffic;
+      cbr.group = spec.group;
+      nodes_.at(source)->addCbrSource(cbr);
+    }
+  }
+
+  for (auto& node : nodes_) node->start();
+
+  // Faults: churn is generated globally with the legacy fork/draws, then
+  // the merged schedule is scoped per domain so each injector only ever
+  // touches its own domain's simulator, channel and nodes (the invariant
+  // the parallel scheduler relies on).
+  fault::FaultSchedule schedule = config_.faults;
+  if (config_.churn) {
+    std::vector<bool> excluded(config_.nodeCount, false);
+    for (const GroupSpec& spec : config_.groups) {
+      for (const net::NodeId s : spec.sources) excluded.at(s) = true;
+      for (const net::NodeId m : spec.members) excluded.at(m) = true;
+    }
+    std::vector<net::NodeId> eligible;
+    for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+      if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+    }
+    const fault::FaultSchedule generated = fault::FaultSchedule::generate(
+        *config_.churn, config_.duration, eligible, rng.fork("faults"));
+    for (const fault::FaultEvent& event : generated.events()) {
+      schedule.add(event);
+    }
+  }
+  if (!schedule.empty()) {
+    domainInjectors_.resize(domains);
+    domainRecovery_.resize(domains);
+    for (std::size_t d = 0; d < domains; ++d) {
+      std::vector<fault::FaultEvent> scoped;
+      for (const fault::FaultEvent& event : schedule.events()) {
+        if (plan_.channelOf(event.node) != d) continue;
+        // A cross-domain link fault targets a link that cannot exist (its
+        // endpoints never hear each other), so it is dropped.
+        if (event.peer != net::kInvalidNode &&
+            plan_.channelOf(event.peer) != d) {
+          continue;
+        }
+        scoped.push_back(event);
+      }
+      if (scoped.empty()) continue;
+      domainInjectors_[d] = std::make_unique<fault::FaultInjector>(
+          *domainSims_[d], *channels_[d],
+          fault::FaultSchedule::fromEvents(std::move(scoped)));
+      if (!domainTraces_.empty()) {
+        domainInjectors_[d]->setTrace(domainTraces_[d].get());
+      }
+      // Scoped schedules only name same-domain victims, so the hook stays
+      // inside this domain's worker thread.
+      domainInjectors_[d]->setBlackholeHook([this](net::NodeId node,
+                                                   bool active) {
+        nodes_.at(node)->setProbeBlackhole(active);
+      });
+      domainInjectors_[d]->arm();
+
+      // Per-domain fan-out: a source only reaches members sharing its
+      // channel. One domain: identical to the legacy factor.
+      double fanout = 0.0;
+      std::size_t sources = 0;
+      for (const GroupSpec& spec : config_.groups) {
+        for (const net::NodeId source : spec.sources) {
+          if (plan_.channelOf(source) != d) continue;
+          std::uint64_t f = 0;
+          for (const net::NodeId member : spec.members) {
+            if (member != source && plan_.channelOf(member) == d) ++f;
+          }
+          fanout += static_cast<double>(f);
+          ++sources;
+        }
+      }
+      if (sources > 0) fanout /= static_cast<double>(sources);
+      domainRecovery_[d] = std::make_unique<fault::RecoveryAnalyzer>(
+          *domainSims_[d], *domainRegistries_[d],
+          domainInjectors_[d]->schedule(), config_.duration, fanout);
+      domainRecovery_[d]->arm();
+    }
+  }
+}
+
+namespace {
+
+void applyRecovery(RunResults& results, const fault::RecoveryReport& report) {
+  results.faultsApplied = report.faultsApplied;
+  results.faultsCleared = report.faultsCleared;
+  results.faultWindowS = report.faultWindowS;
+  results.inWindowPdr = report.inWindowPdr;
+  results.outWindowPdr = report.outWindowPdr;
+  results.overheadInflation = report.overheadInflation;
+  results.meanTimeToRepairS = report.meanTimeToRepairS;
+  results.repairsObserved = report.repairsObserved;
+  results.repairsUnresolved = report.repairsUnresolved;
+}
+
+// Folds per-domain recovery reports into one run-level report. Counts sum;
+// ratio metrics are weighted means over the windows they were measured in
+// (fault-window seconds for in-window PDR and overhead inflation, the
+// remaining horizon for out-of-window PDR, resolved repairs for the mean
+// time-to-repair). A single report passes through unchanged, so the one-
+// domain path matches the legacy analyzer exactly.
+fault::RecoveryReport mergeRecoveryReports(
+    const std::vector<fault::RecoveryReport>& reports, SimTime horizon) {
+  if (reports.size() == 1) return reports.front();
+  fault::RecoveryReport merged;
+  const double horizonS = horizon.toSeconds();
+  double inWeight = 0.0, outWeight = 0.0, repairWeight = 0.0;
+  for (const fault::RecoveryReport& r : reports) {
+    merged.faultsApplied += r.faultsApplied;
+    merged.faultsCleared += r.faultsCleared;
+    merged.faultWindowS += r.faultWindowS;
+    merged.repairsObserved += r.repairsObserved;
+    merged.repairsUnresolved += r.repairsUnresolved;
+    merged.inWindowPdr += r.inWindowPdr * r.faultWindowS;
+    merged.overheadInflation += r.overheadInflation * r.faultWindowS;
+    merged.inWindowControlBps += r.inWindowControlBps * r.faultWindowS;
+    inWeight += r.faultWindowS;
+    const double outS = horizonS > r.faultWindowS ? horizonS - r.faultWindowS : 0.0;
+    merged.outWindowPdr += r.outWindowPdr * outS;
+    merged.outWindowControlBps += r.outWindowControlBps * outS;
+    outWeight += outS;
+    merged.meanTimeToRepairS +=
+        r.meanTimeToRepairS * static_cast<double>(r.repairsObserved);
+    repairWeight += static_cast<double>(r.repairsObserved);
+  }
+  if (inWeight > 0.0) {
+    merged.inWindowPdr /= inWeight;
+    merged.overheadInflation /= inWeight;
+    merged.inWindowControlBps /= inWeight;
+  }
+  if (outWeight > 0.0) {
+    merged.outWindowPdr /= outWeight;
+    merged.outWindowControlBps /= outWeight;
+  }
+  if (repairWeight > 0.0) merged.meanTimeToRepairS /= repairWeight;
+  return merged;
+}
+
+}  // namespace
+
+std::string Simulation::traceMetaLine() const {
+  const double activeS =
+      (config_.traffic.stop - config_.traffic.start).toSeconds();
+  char meta[256];
+  std::snprintf(meta, sizeof(meta),
+                "{\"seed\":%llu,\"protocol\":\"%s\",\"nodes\":%zu,"
+                "\"active_s\":%.17g}",
+                static_cast<unsigned long long>(config_.seed),
+                config_.protocol.name().c_str(), nodes_.size(), activeS);
+  return meta;
+}
+
 RunResults Simulation::run() {
+  if (multiChannel_) return runMultiChannel();
+
   // A short drain window lets in-flight frames land before accounting.
   simulator_.run(config_.duration + SimTime::seconds(std::int64_t{1}));
 
   RunResults results;
   results.eventsExecuted = simulator_.eventsExecuted();
+  aggregateTraffic(results);
 
+  if (recovery_ != nullptr) applyRecovery(results, recovery_->report());
+
+  if (trace_ != nullptr) {
+    if (!trace_->exportJsonl(config_.tracePath, traceMetaLine(),
+                             registry_.snapshot())) {
+      throw std::runtime_error("trace export failed: cannot write " +
+                               config_.tracePath);
+    }
+  }
+  return results;
+}
+
+RunResults Simulation::runMultiChannel() {
+  std::vector<sim::Simulator*> domains;
+  domains.reserve(domainSims_.size());
+  for (const auto& domain : domainSims_) domains.push_back(domain.get());
+  channelplan::DomainScheduler scheduler{std::move(domains),
+                                         config_.domainWorkers};
+  // Same drain window as the single-channel path.
+  scheduler.run(config_.duration + SimTime::seconds(std::int64_t{1}));
+
+  RunResults results;
+  for (const auto& domain : domainSims_) {
+    results.eventsExecuted += domain->eventsExecuted();
+  }
+  aggregateTraffic(results);
+
+  if (plan_.channels > 1) {
+    for (std::size_t d = 0; d < plan_.channels; ++d) {
+      results.channelFrames.push_back(
+          domainRegistries_[d]->value("phy.frames_sent"));
+      results.channelDelivered.push_back(
+          domainRegistries_[d]->value("app.packets_delivered"));
+    }
+  }
+
+  std::vector<fault::RecoveryReport> reports;
+  for (const auto& recovery : domainRecovery_) {
+    if (recovery != nullptr) reports.push_back(recovery->report());
+  }
+  if (!reports.empty()) {
+    applyRecovery(results, mergeRecoveryReports(reports, config_.duration));
+  }
+
+  if (!domainTraces_.empty()) {
+    std::vector<trace::TraceCollector*> parts;
+    parts.reserve(domainTraces_.size());
+    for (const auto& collector : domainTraces_) parts.push_back(collector.get());
+    if (!trace::TraceCollector::exportMergedJsonl(
+            config_.tracePath, traceMetaLine(), registry_.snapshot(), parts)) {
+      throw std::runtime_error("trace export failed: cannot write " +
+                               config_.tracePath);
+    }
+  }
+  return results;
+}
+
+void Simulation::aggregateTraffic(RunResults& results) {
   for (const GroupSpec& spec : config_.groups) {
     for (const net::NodeId source : spec.sources) {
       const app::CbrSource* cbr = nodes_.at(source)->cbr();
@@ -339,33 +758,6 @@ RunResults Simulation::run() {
           ? 100.0 * static_cast<double>(results.probeBytesReceived) /
                 static_cast<double>(results.dataBytesReceived)
           : 0.0;
-
-  if (recovery_ != nullptr) {
-    const fault::RecoveryReport recovered = recovery_->report();
-    results.faultsApplied = recovered.faultsApplied;
-    results.faultsCleared = recovered.faultsCleared;
-    results.faultWindowS = recovered.faultWindowS;
-    results.inWindowPdr = recovered.inWindowPdr;
-    results.outWindowPdr = recovered.outWindowPdr;
-    results.overheadInflation = recovered.overheadInflation;
-    results.meanTimeToRepairS = recovered.meanTimeToRepairS;
-    results.repairsObserved = recovered.repairsObserved;
-    results.repairsUnresolved = recovered.repairsUnresolved;
-  }
-
-  if (trace_ != nullptr) {
-    char meta[256];
-    std::snprintf(meta, sizeof(meta),
-                  "{\"seed\":%llu,\"protocol\":\"%s\",\"nodes\":%zu,"
-                  "\"active_s\":%.17g}",
-                  static_cast<unsigned long long>(config_.seed),
-                  config_.protocol.name().c_str(), nodes_.size(), activeS);
-    if (!trace_->exportJsonl(config_.tracePath, meta, registry_.snapshot())) {
-      throw std::runtime_error("trace export failed: cannot write " +
-                               config_.tracePath);
-    }
-  }
-  return results;
 }
 
 std::unordered_map<net::LinkKey, std::uint64_t, net::LinkKeyHash>

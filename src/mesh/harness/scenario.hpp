@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "mesh/channelplan/channel_plan.hpp"
 #include "mesh/common/rng.hpp"
 #include "mesh/common/vec2.hpp"
 #include "mesh/fault/fault_injector.hpp"
@@ -73,14 +74,29 @@ struct ProtocolSpec {
   }
 };
 
+// How random geometric scenarios place their nodes.
+//
+//  * UniformRejection — the paper's method: uniform positions, re-drawn
+//    until the 250 m disk graph is connected. O(n²) per attempt and the
+//    acceptance probability drops with n, so it does not scale.
+//  * Grid — O(n): one node per cell of a ceil(sqrt(n))-column grid (cells
+//    shuffled so node ids carry no spatial information), jittered within
+//    the central half of its cell. Adjacent occupied cells stay within
+//    250 m at the paper's density (50 nodes/km²: worst case ~224 m), so
+//    the disk graph is connected by construction — no rejection loop.
+enum class Placement : std::uint8_t { UniformRejection = 0, Grid = 1 };
+
 struct ScenarioConfig {
   std::size_t nodeCount{50};
   double areaWidthM{1000.0};
   double areaHeightM{1000.0};
   bool rayleighFading{true};
   // Reject random placements whose 250 m disk graph is disconnected, so
-  // every topology can in principle deliver to every member.
+  // every topology can in principle deliver to every member. Only
+  // meaningful with Placement::UniformRejection (Grid is connected by
+  // construction).
   bool ensureConnected{true};
+  Placement placement{Placement::UniformRejection};
   // 0 = static mesh (the paper's premise). > 0: random-waypoint mobility
   // with speeds in [max/2, max] and short pauses — the MANET regime the
   // bench_mobility extension explores.
@@ -102,6 +118,29 @@ struct ScenarioConfig {
   // ("fixed"/"minstrel"/"genie") overrides `rateControl` at build time.
   rate::ControlKind rateControl{rate::ControlKind::Fixed};
   rate::RateSetKind rateSet{rate::RateSetKind::Basic};
+
+  // Multi-channel mesh (src/mesh/channelplan): > 1 partitions the PHY into
+  // `channels` orthogonal collision domains — one phy::Channel and one
+  // event queue per domain, frames only interact within a domain. Requires
+  // a static geometric scenario (no mobility, no custom link model), and
+  // note that multicast traffic only flows inside a domain: pick groups
+  // channel-locally (makeStripedGroups) or expect cross-domain members to
+  // starve. 1 (the default) is the legacy single-channel simulator,
+  // byte-identical to pre-channelplan builds. The MESH_CHANNELS
+  // environment variable overrides this knob at build time.
+  std::size_t channels{1};
+  channelplan::AssignStrategy channelAssign{channelplan::AssignStrategy::Static};
+  // Worker threads driving the collision domains in parallel (clamped to
+  // [1, channels]). Purely a wall-clock knob: traces, counters and every
+  // aggregate are byte-identical for any worker count — the determinism
+  // tests pin this. The MESH_DOMAIN_WORKERS environment variable
+  // overrides it.
+  std::size_t domainWorkers{1};
+  // Test-only: run the multi-domain build/run machinery even when
+  // channels == 1 (one domain). Exists so the byte-identity of the
+  // channelplan path against the legacy path is directly testable; no
+  // config key maps to it.
+  bool forceChannelPlan{false};
 
   ProtocolSpec protocol;
   SimTime duration{SimTime::seconds(std::int64_t{400})};
@@ -136,10 +175,12 @@ struct ScenarioConfig {
 ScenarioConfig paperSimulationScenario();
 
 // The paper scenario scaled to `nodeCount` nodes at the paper's density:
-// the area side grows as 1000 m × sqrt(n / 50), so the 250 m disk graph
-// stays connected with the same probability per placement attempt and
-// per-node degree matches the 50-node baseline. The scale benches and the
-// 500-node robustness tests build on this.
+// the area side grows as 1000 m × sqrt(n / 50), so per-node degree matches
+// the 50-node baseline. Uses Placement::Grid — O(n) and connected by
+// construction, where the paper's rejection sampling becomes hopeless at
+// thousands of nodes (set `placement = Placement::UniformRejection` to
+// restore the old path). The scale benches and the 500-node robustness
+// tests build on this.
 ScenarioConfig scaledSimulationScenario(std::size_t nodeCount);
 
 // Picks `groupCount` groups of `membersPerGroup` members and
@@ -149,6 +190,18 @@ std::vector<GroupSpec> makeRandomGroups(std::size_t nodeCount,
                                         std::size_t groupCount,
                                         std::size_t membersPerGroup,
                                         std::size_t sourcesPerGroup, Rng& rng);
+
+// Channel-local groups for multi-channel runs with the Static (id mod C)
+// assignment: `groupsPerChannel` groups per channel, each drawn from one
+// residue class mod `channels` so every group lives inside one collision
+// domain. Group ids interleave channels (group g -> channel (g-1) mod C).
+// With channels == 1 this degenerates to makeRandomGroups' shape over all
+// ids. Draws from `rng` sequentially, so the result is deterministic.
+std::vector<GroupSpec> makeStripedGroups(std::size_t nodeCount,
+                                         std::size_t channels,
+                                         std::size_t groupsPerChannel,
+                                         std::size_t membersPerGroup,
+                                         std::size_t sourcesPerGroup, Rng& rng);
 
 // Aggregated outcome of one simulation run.
 struct RunResults {
@@ -176,6 +229,13 @@ struct RunResults {
   double meanTimeToRepairS{0.0};
   std::uint64_t repairsObserved{0};
   std::uint64_t repairsUnresolved{0};
+
+  // Per-collision-domain counters, indexed by channel. Empty unless the
+  // run used channels > 1. Sourced from each domain's own counter
+  // registry; `meshtrace verify` cross-checks them against the trace's
+  // channel-tagged TxStart/Deliver records.
+  std::vector<std::uint64_t> channelFrames;     // phy.frames_sent
+  std::vector<std::uint64_t> channelDelivered;  // app.packets_delivered
 };
 
 class Simulation {
@@ -186,12 +246,37 @@ class Simulation {
   // returns the aggregated results.
   RunResults run();
 
-  sim::Simulator& simulator() { return simulator_; }
-  phy::Channel& channel() { return *channel_; }
-  // Per-run counter taxonomy, summed across nodes (always populated).
+  // On multi-channel builds these return collision domain 0's objects;
+  // use domainChannel()/domainCounters() to reach the others.
+  sim::Simulator& simulator() {
+    return multiChannel_ ? *domainSims_[0] : simulator_;
+  }
+  phy::Channel& channel() {
+    return multiChannel_ ? *channels_[0] : *channel_;
+  }
+  // Per-run counter taxonomy, summed across nodes (always populated; on
+  // multi-channel builds every node registers here *and* in its domain
+  // registry, so the totals span all domains).
   const trace::CounterRegistry& counters() const { return registry_; }
-  // Non-null only when config.tracePath was set.
-  const trace::TraceCollector* trace() const { return trace_.get(); }
+  // Non-null only when config.tracePath was set. Multi-channel builds
+  // keep one collector per domain; this returns domain 0's.
+  const trace::TraceCollector* trace() const {
+    if (!multiChannel_) return trace_.get();
+    return domainTraces_.empty() ? nullptr : domainTraces_[0].get();
+  }
+
+  // Multi-channel introspection. channelCount() is 1 on legacy builds;
+  // plan() is null unless the channelplan path built this simulation.
+  std::size_t channelCount() const { return multiChannel_ ? plan_.channels : 1; }
+  const channelplan::ChannelPlan* plan() const {
+    return multiChannel_ ? &plan_ : nullptr;
+  }
+  phy::Channel& domainChannel(std::size_t channel) {
+    return multiChannel_ ? *channels_.at(channel) : *channel_;
+  }
+  const trace::CounterRegistry* domainCounters(std::size_t channel) const {
+    return multiChannel_ ? domainRegistries_.at(channel).get() : &registry_;
+  }
   MeshNode& node(net::NodeId id) { return *nodes_.at(id); }
   std::size_t nodeCount() const { return nodes_.size(); }
   // Non-null only when the scenario carries faults (explicit or churn).
@@ -206,7 +291,16 @@ class Simulation {
 
  private:
   void build();
+  void buildMultiChannel(Rng& rng);
+  RunResults runMultiChannel();
+  // Shared post-run accounting: headline aggregates from nodes_ and
+  // registry_ (identical arithmetic on both the legacy and the
+  // multi-channel path — the cross-path byte-identity tests rely on it).
+  void aggregateTraffic(RunResults& results);
+  std::string traceMetaLine() const;
   std::vector<Vec2> placeNodes(Rng& rng) const;
+  std::vector<Vec2> placeNodesGrid(Rng& rng) const;
+  std::vector<Vec2> placePositions(Rng& rng) const;
   static bool diskGraphConnected(const std::vector<Vec2>& positions,
                                  double rangeM);
 
@@ -217,9 +311,26 @@ class Simulation {
   std::unique_ptr<metrics::Metric> metric_;  // null for original ODMRP
   std::unique_ptr<rate::RateTable> rateTable_;  // null on the legacy path
   std::unique_ptr<phy::Channel> channel_;
+
+  // Multi-channel state (channels > 1 or forceChannelPlan): one simulator,
+  // channel, trace collector and counter registry per collision domain;
+  // faults are scoped per domain too. The legacy members above stay unset
+  // (except registry_/metric_/rateTable_/nodes_/positions_, shared).
+  // Declared BEFORE nodes_/injectors so anything holding a Simulator& or
+  // Channel& (node timers cancel against their domain simulator on
+  // destruction) is torn down first.
+  bool multiChannel_{false};
+  channelplan::ChannelPlan plan_;
+  std::vector<std::unique_ptr<sim::Simulator>> domainSims_;
+  std::vector<std::unique_ptr<phy::Channel>> channels_;
+  std::vector<std::unique_ptr<trace::TraceCollector>> domainTraces_;
+  std::vector<std::unique_ptr<trace::CounterRegistry>> domainRegistries_;
+
   std::vector<std::unique_ptr<MeshNode>> nodes_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<fault::RecoveryAnalyzer> recovery_;
+  std::vector<std::unique_ptr<fault::FaultInjector>> domainInjectors_;
+  std::vector<std::unique_ptr<fault::RecoveryAnalyzer>> domainRecovery_;
   std::vector<Vec2> positions_;
 };
 

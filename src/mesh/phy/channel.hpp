@@ -1,7 +1,12 @@
 #pragma once
 // Channel: the shared wireless medium.
 //
-// One Channel connects all radios of a scenario. On each transmission it
+// One Channel connects all radios of one collision domain. In the default
+// single-channel scenario that is every radio; under a multi-channel plan
+// (harness `channels` key, DESIGN §11) each orthogonal channel gets its
+// own Channel — carrier sense, NAV, busy-power sums, reachability rows
+// and the spatial grid are all per-instance state, so domains cannot
+// interact. On each transmission it
 // samples per-receiver received power from the LinkModel (mean propagation
 // × per-packet fading) and delivers the energy to every radio whose mean
 // power is non-negligible, after the speed-of-light propagation delay.

@@ -119,6 +119,27 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
   appendField(line, "repairs", record.results.repairsObserved);
   line += ',';
   appendField(line, "repairs_unresolved", record.results.repairsUnresolved);
+  // Per-collision-domain counters, present only on multi-channel runs.
+  // Flat ch<k>_* keys so the line stays a one-level object for the
+  // flat-JSON scanners (`meshtrace verify` cross-checks these against the
+  // trace's channel-tagged records).
+  if (!record.results.channelFrames.empty()) {
+    line += ',';
+    appendField(line, "channels",
+                static_cast<std::uint64_t>(record.results.channelFrames.size()));
+    for (std::size_t k = 0; k < record.results.channelFrames.size(); ++k) {
+      char key[48];
+      std::snprintf(key, sizeof key, "ch%zu_frames", k);
+      line += ',';
+      appendField(line, key, record.results.channelFrames[k]);
+      std::snprintf(key, sizeof key, "ch%zu_delivered", k);
+      line += ',';
+      appendField(line, key,
+                  k < record.results.channelDelivered.size()
+                      ? record.results.channelDelivered[k]
+                      : std::uint64_t{0});
+    }
+  }
   if (!record.tracePath.empty()) {
     line += ",\"trace\":\"";
     appendEscaped(line, record.tracePath);

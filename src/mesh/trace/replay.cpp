@@ -41,6 +41,9 @@ TraceSummary summarizeTrace(const ParsedTrace& trace) {
       case EventType::Deliver: {
         ++summary.packetsDelivered;
         payloadBytesDelivered += record.bytes;
+        if (record.channel >= 0) {
+          ++summary.perChannel[record.channel].delivered;
+        }
         const auto born = birthTimeNs.find(record.pid);
         if (born == birthTimeNs.end()) {
           ++summary.deliversWithoutBirth;
@@ -64,6 +67,19 @@ TraceSummary summarizeTrace(const ParsedTrace& trace) {
         ++summary.dropCount;
         ++summary.dropsByReason[toString(record.reason)];
         if (record.reason == DropReason::Unknown) ++summary.unknownReasonDrops;
+        if (record.channel >= 0) ++summary.perChannel[record.channel].drops;
+        break;
+      case EventType::TxStart:
+        if (record.channel >= 0) {
+          auto& ch = summary.perChannel[record.channel];
+          ++ch.frames;
+          // DSSS PLCP preamble+header (192 us) plus payload bits at the
+          // 2 Mb/s base rate: 4000 ns per byte. A share estimate — the
+          // multi-rate PHY sends some frames faster, but the cross-channel
+          // ratio is what the breakdown is for.
+          ch.busyTimeNs +=
+              192'000 + static_cast<std::int64_t>(record.bytes) * 4'000;
+        }
         break;
       case EventType::FaultInject:
         ++summary.faultsInjected;
@@ -215,6 +231,33 @@ VerifyReport verifyAgainstResults(const std::string& resultsJsonlPath,
     diffField(run, "control_bytes",
               static_cast<double>(summary.controlBytesReceived),
               static_cast<double>(controlBytes), 0.0);
+    // Multi-channel rows record per-domain counters (ch<k>_frames /
+    // ch<k>_delivered, from that domain's counter registry); cross-check
+    // them exactly against the channel-tagged trace records.
+    std::uint64_t channels = 0;
+    if (jsonFindUint(line, "channels", channels) && channels > 1) {
+      for (std::uint64_t k = 0; k < channels; ++k) {
+        const auto it = summary.perChannel.find(static_cast<int>(k));
+        const std::uint64_t traceFrames =
+            it != summary.perChannel.end() ? it->second.frames : 0;
+        const std::uint64_t traceDelivered =
+            it != summary.perChannel.end() ? it->second.delivered : 0;
+        char key[48];
+        std::uint64_t v = 0;
+        std::snprintf(key, sizeof(key), "ch%llu_frames",
+                      static_cast<unsigned long long>(k));
+        if (jsonFindUint(line, key, v)) {
+          diffField(run, key, static_cast<double>(traceFrames),
+                    static_cast<double>(v), 0.0);
+        }
+        std::snprintf(key, sizeof(key), "ch%llu_delivered",
+                      static_cast<unsigned long long>(k));
+        if (jsonFindUint(line, key, v)) {
+          diffField(run, key, static_cast<double>(traceDelivered),
+                    static_cast<double>(v), 0.0);
+        }
+      }
+    }
     if (summary.unknownReasonDrops > 0) {
       run.error = "trace contains drops with reason=unknown";
     }

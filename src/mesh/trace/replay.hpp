@@ -43,6 +43,19 @@ struct TraceSummary {
   // Audit: Deliver records whose pid never appeared in a PktBirth — always
   // zero on a well-formed trace.
   std::uint64_t deliversWithoutBirth{0};
+
+  // Per-collision-domain breakdown, keyed by channel index. Populated only
+  // from records carrying a "channel" field (multi-channel runs); empty on
+  // single-channel traces. busyTimeNs is the summed frame airtime estimate
+  // (DSSS PLCP preamble + payload bits at the 2 Mb/s base rate) — meant
+  // for cross-channel share comparison, not absolute medium occupancy.
+  struct ChannelStats {
+    std::uint64_t frames{0};     // TxStart records
+    std::uint64_t drops{0};      // Drop records
+    std::uint64_t delivered{0};  // Deliver records
+    std::int64_t busyTimeNs{0};
+  };
+  std::map<int, ChannelStats> perChannel;
 };
 
 TraceSummary summarizeTrace(const ParsedTrace& trace);

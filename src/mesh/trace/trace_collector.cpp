@@ -111,6 +111,7 @@ void TraceCollector::txStart(SimTime t, net::NodeId node,
   record.kind = static_cast<std::uint8_t>(
       pkt != nullptr ? pkt->kind() : net::PacketKind::MacControl);
   record.rate = rate;
+  record.channel = channelTag_;
   append(record);
 }
 
@@ -159,6 +160,7 @@ void TraceCollector::deliver(SimTime t, net::NodeId node,
   record.group = group;
   record.type = static_cast<std::uint8_t>(EventType::Deliver);
   record.kind = static_cast<std::uint8_t>(pkt.kind());
+  record.channel = channelTag_;
   append(record);
 }
 
@@ -173,6 +175,7 @@ void TraceCollector::drop(SimTime t, net::NodeId node, const net::Packet* pkt,
   record.type = static_cast<std::uint8_t>(EventType::Drop);
   record.kind = static_cast<std::uint8_t>(kind);
   record.reason = static_cast<std::uint8_t>(reason);
+  record.channel = channelTag_;
   append(record);
 }
 
@@ -206,6 +209,13 @@ std::string toJsonLine(const TraceRecord& record) {
   const auto kind = static_cast<net::PacketKind>(record.kind);
   char buf[256];
   int n = 0;
+  // Collision-domain tag; only stamped (txStart/drop/deliver) on
+  // multi-channel runs, so single-channel trace bytes are unchanged.
+  char chan[20];
+  chan[0] = '\0';
+  if (record.channel != 0) {
+    std::snprintf(chan, sizeof(chan), R"(,"channel":%u)", record.channel - 1);
+  }
   if (type == EventType::FaultInject || type == EventType::FaultClear) {
     const auto fault = static_cast<FaultKind>(record.reason);
     // Inject records of parameterized kinds decode their fixed-point
@@ -241,32 +251,33 @@ std::string toJsonLine(const TraceRecord& record) {
     n = std::snprintf(
         buf, sizeof(buf),
         R"({"t":%)" PRId64
-        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"origin":%u,"group":%u})",
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"origin":%u,"group":%u%s})",
         record.timeNs, toString(type), record.node, record.pid,
-        net::toString(kind), record.sizeBytes, record.origin, record.group);
+        net::toString(kind), record.sizeBytes, record.origin, record.group,
+        chan);
   } else if (type == EventType::Drop) {
     n = std::snprintf(
         buf, sizeof(buf),
         R"({"t":%)" PRId64
-        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"reason":"%s"})",
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"reason":"%s"%s})",
         record.timeNs, toString(type), record.node, record.pid,
         net::toString(kind), record.sizeBytes,
-        toString(static_cast<DropReason>(record.reason)));
+        toString(static_cast<DropReason>(record.reason)), chan);
   } else if (record.rate != 0) {
     // Only TxStart records of rate-aware frames set `rate`; fixed-rate
     // traces never reach this branch, keeping their bytes unchanged.
     n = std::snprintf(
         buf, sizeof(buf),
         R"({"t":%)" PRId64
-        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"rate":%u})",
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u,"rate":%u%s})",
         record.timeNs, toString(type), record.node, record.pid,
-        net::toString(kind), record.sizeBytes, record.rate);
+        net::toString(kind), record.sizeBytes, record.rate, chan);
   } else {
     n = std::snprintf(
         buf, sizeof(buf),
-        R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u})",
+        R"({"t":%)" PRId64 R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","bytes":%u%s})",
         record.timeNs, toString(type), record.node, record.pid,
-        net::toString(kind), record.sizeBytes);
+        net::toString(kind), record.sizeBytes, chan);
   }
   return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
 }
@@ -321,6 +332,133 @@ bool TraceCollector::exportJsonl(
     }
     spilled_ = 0;
     buffer_.clear();
+  }
+  return ok;
+}
+
+bool TraceCollector::exportMergedJsonl(
+    const std::string& path, const std::string& metaJson,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    const std::vector<TraceCollector*>& parts) {
+  if (parts.empty()) return false;
+  if (parts.size() == 1) return parts[0]->exportJsonl(path, metaJson, counters);
+
+  // Streaming cursor over one part: spilled records first (they precede
+  // the buffer in emission order), then the in-memory buffer, re-read in
+  // 1024-record chunks so merging k paper-scale parts stays bounded.
+  struct Cursor {
+    TraceCollector* part{nullptr};
+    std::uint64_t spillRemaining{0};
+    std::size_t bufferIndex{0};
+    std::vector<TraceRecord> chunk;
+    std::size_t chunkIndex{0};
+    bool failed{false};
+
+    bool refill() {
+      chunk.clear();
+      chunkIndex = 0;
+      if (spillRemaining > 0) {
+        const std::size_t want =
+            spillRemaining < 1024 ? static_cast<std::size_t>(spillRemaining)
+                                  : 1024;
+        chunk.resize(want);
+        const std::size_t got =
+            std::fread(chunk.data(), sizeof(TraceRecord), want, part->spill_);
+        if (got != want) {
+          failed = true;
+          return false;
+        }
+        spillRemaining -= got;
+        return true;
+      }
+      const std::size_t left = part->buffer_.size() - bufferIndex;
+      if (left == 0) return false;
+      const std::size_t want = left < 1024 ? left : 1024;
+      chunk.assign(part->buffer_.begin() + static_cast<std::ptrdiff_t>(bufferIndex),
+                   part->buffer_.begin() + static_cast<std::ptrdiff_t>(bufferIndex + want));
+      bufferIndex += want;
+      return true;
+    }
+
+    // Returns the head record, or nullptr when the part is exhausted (or
+    // a spill read failed, flagged in `failed`).
+    const TraceRecord* peek() {
+      if (chunkIndex >= chunk.size() && !refill()) return nullptr;
+      return &chunk[chunkIndex];
+    }
+    void pop() { ++chunkIndex; }
+  };
+
+  std::vector<Cursor> cursors(parts.size());
+  bool ok = true;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    cursors[i].part = parts[i];
+    if (parts[i]->spill_ != nullptr && parts[i]->spilled_ > 0) {
+      std::fflush(parts[i]->spill_);
+      if (std::fseek(parts[i]->spill_, 0, SEEK_SET) != 0) ok = false;
+      cursors[i].spillRemaining = parts[i]->spilled_;
+    }
+  }
+
+  if (!ensureParentDir(path)) return false;
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  ok = ok && std::fputs(metaJson.c_str(), out) >= 0 &&
+       std::fputc('\n', out) != EOF;
+
+  // Per-part records are time-sorted (each domain's sim clock is
+  // monotone), so a k-way head merge yields the global (timeNs, part)
+  // order. Pids are renumbered in merged first-appearance order: local
+  // (part, pid) pairs map to one dense global sequence, making the merged
+  // bytes independent of how packets were numbered inside each domain.
+  std::unordered_map<std::uint64_t, std::uint32_t> pidMap;
+  std::uint32_t nextPid = 1;
+  while (ok) {
+    std::size_t best = parts.size();
+    const TraceRecord* bestRecord = nullptr;
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      const TraceRecord* head = cursors[i].peek();
+      if (cursors[i].failed) {
+        ok = false;
+        break;
+      }
+      if (head == nullptr) continue;
+      // Strict less-than on time keeps equal-time ties on the lowest part
+      // index — the documented merge order.
+      if (bestRecord == nullptr || head->timeNs < bestRecord->timeNs) {
+        best = i;
+        bestRecord = head;
+      }
+    }
+    if (!ok || bestRecord == nullptr) break;
+    TraceRecord record = *bestRecord;
+    cursors[best].pop();
+    if (record.pid != 0) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(best) << 32) | record.pid;
+      const auto [it, inserted] = pidMap.try_emplace(key, nextPid);
+      if (inserted) ++nextPid;
+      record.pid = it->second;
+    }
+    const std::string line = toJsonLine(record);
+    ok = std::fputs(line.c_str(), out) >= 0 && std::fputc('\n', out) != EOF;
+  }
+  for (const auto& [name, value] : counters) {
+    if (!ok) break;
+    ok = std::fprintf(out, R"({"counter":"%s","value":%)" PRIu64 "}\n",
+                      name.c_str(), value) > 0;
+  }
+  ok = std::fclose(out) == 0 && ok;
+  if (ok) {
+    for (TraceCollector* part : parts) {
+      if (part->spill_ != nullptr) {
+        std::fclose(part->spill_);
+        part->spill_ = nullptr;
+        std::remove(part->spillPath_.c_str());
+      }
+      part->spilled_ = 0;
+      part->buffer_.clear();
+    }
   }
   return ok;
 }

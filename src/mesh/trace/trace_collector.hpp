@@ -1,11 +1,13 @@
 #pragma once
 // TraceCollector: the per-run sink for packet-lifecycle records.
 //
-// One collector serves one Simulation (runs are single-threaded even under
-// the parallel sweep runner, so no locking). Components hold a cached
-// `trace::TraceCollector*` that is null when tracing is off — every hook
-// site compiles down to one pointer test, which the trace-overhead bench
-// guards at <2% of the event loop.
+// One collector serves one collision domain (one Simulation owns one
+// collector per channel; each domain's event loop is single-threaded, so no
+// locking). Components hold a cached `trace::TraceCollector*` that is null
+// when tracing is off — every hook site compiles down to one pointer test,
+// which the trace-overhead bench guards at <2% of the event loop.
+// Multi-channel runs merge their per-domain collectors into one file with
+// `exportMergedJsonl()`, ordered by (time, channel index).
 //
 // Records buffer in memory as 32-byte PODs; past a threshold they spill to
 // `<path>.spill` so paper-scale runs stay bounded. `exportJsonl()` streams
@@ -73,6 +75,12 @@ class TraceCollector {
 
   std::uint64_t recordCount() const { return total_; }
 
+  // Collision-domain tag stamped on txStart/drop/deliver records: 1 +
+  // channel index. 0 (the default) means single-channel — record bytes are
+  // unchanged from legacy traces, which byte-identity tests rely on.
+  void setChannelTag(std::uint8_t tag) { channelTag_ = tag; }
+  std::uint8_t channelTag() const { return channelTag_; }
+
   // Streams `metaJson` (a complete one-line JSON object), every record in
   // emission order, then one `{"counter":...,"value":...}` line per entry
   // of `counters`. Creates parent directories. Returns false (and keeps
@@ -80,6 +88,18 @@ class TraceCollector {
   bool exportJsonl(
       const std::string& path, const std::string& metaJson,
       const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
+  // Multi-channel export: k-way merges the records of `parts` (one
+  // collector per collision domain, each internally time-sorted) into one
+  // JSONL file. Global order is (timeNs, part index); packet pids are
+  // renumbered densely in merged first-appearance order so the output is a
+  // function of the run alone, not of per-domain pid allocation. With one
+  // part this is exactly exportJsonl. On success every part's records are
+  // drained, as with exportJsonl.
+  static bool exportMergedJsonl(
+      const std::string& path, const std::string& metaJson,
+      const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+      const std::vector<TraceCollector*>& parts);
 
  private:
   std::uint32_t pidOf(const net::Packet& pkt);
@@ -96,6 +116,7 @@ class TraceCollector {
   std::vector<TraceRecord> buffer_;
   std::unordered_map<std::uint64_t, std::uint32_t> pids_;
   std::uint32_t nextPid_{1};  // 0 means "no packet"
+  std::uint8_t channelTag_{0};
 };
 
 // Formats one record as a single JSON line (no trailing newline).

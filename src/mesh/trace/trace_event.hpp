@@ -95,7 +95,8 @@ struct TraceRecord {
   std::uint8_t kind{0};    // net::PacketKind
   std::uint8_t reason{0};  // DropReason (Drop) or FaultKind (FaultInject/Clear)
   std::uint8_t rate{0};    // TxVector code on TxStart (0 = legacy/basic path)
-  std::uint8_t pad[6]{};   // explicit zero padding: spill files are memcpy'd
+  std::uint8_t channel{0}; // 1 + collision-domain index (0 = single-channel)
+  std::uint8_t pad[5]{};   // explicit zero padding: spill files are memcpy'd
 };
 static_assert(sizeof(TraceRecord) == 32, "compact fixed-layout trace record");
 

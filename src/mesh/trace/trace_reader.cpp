@@ -206,6 +206,9 @@ TraceReadResult readTraceFile(const std::string& path) {
     if (jsonFindUint(line, "rate", u)) {
       record.rate = static_cast<std::uint8_t>(u);
     }
+    if (jsonFindUint(line, "channel", u)) {
+      record.channel = static_cast<std::int16_t>(u);
+    }
     trace.records.push_back(record);
   }
   std::fclose(in);

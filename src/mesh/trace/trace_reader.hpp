@@ -44,6 +44,9 @@ struct ParsedRecord {
   double dbm{0.0};   // InterferenceBurst power (inject records)
   // TxStart only: the frame's TxVector code (0 = legacy/basic).
   std::uint8_t rate{0};
+  // TxStart/Drop/Deliver on multi-channel runs: collision-domain index.
+  // -1 when the record carries no channel (single-channel trace).
+  std::int16_t channel{-1};
 };
 
 struct ParsedTrace {

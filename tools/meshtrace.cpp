@@ -84,6 +84,22 @@ int runSummary(int argc, char** argv) {
     for (const auto& [reason, count] : s.dropsByReason) {
       std::printf("    %-22s %" PRIu64 "\n", reason.c_str(), count);
     }
+    if (!s.perChannel.empty()) {
+      // Multi-channel trace: per-collision-domain breakdown. Busy share is
+      // each channel's share of the summed airtime estimate.
+      std::int64_t totalBusyNs = 0;
+      for (const auto& [ch, stats] : s.perChannel) totalBusyNs += stats.busyTimeNs;
+      std::printf("  channels     %zu\n", s.perChannel.size());
+      for (const auto& [ch, stats] : s.perChannel) {
+        const double share =
+            totalBusyNs > 0 ? 100.0 * static_cast<double>(stats.busyTimeNs) /
+                                  static_cast<double>(totalBusyNs)
+                            : 0.0;
+        std::printf("    ch%-2d frames %-8" PRIu64 " drops %-8" PRIu64
+                    " delivered %-8" PRIu64 " busy %5.1f%%\n",
+                    ch, stats.frames, stats.drops, stats.delivered, share);
+      }
+    }
     if (s.unknownReasonDrops > 0) {
       std::printf("  WARNING: %" PRIu64 " drops carry reason \"unknown\"\n",
                   s.unknownReasonDrops);
