@@ -12,6 +12,10 @@
 #include "mesh/channelplan/channel_plan.hpp"
 #include "mesh/common/rng.hpp"
 #include "mesh/harness/scenario.hpp"
+#include "mesh/mac/frames.hpp"
+#include "mesh/mac/mac80211.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/net/pool.hpp"
 #include "mesh/metrics/loss_window.hpp"
 #include "mesh/metrics/metric.hpp"
 #include "mesh/metrics/neighbor_table.hpp"
@@ -223,6 +227,92 @@ void BM_JoinQuerySerializeParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_JoinQuerySerializeParse);
+
+// The pooled serialization path every data transmission pays (DESIGN §12):
+// build the ODMRP data packet straight into its slab slot (exact-size
+// writer, no temporary vector), serialize the MAC header into a stack
+// buffer, and wrap both in a pooled PhyFrame. What the old
+// make_shared + vector-building Frame::serialize path cost per frame is
+// now this row.
+void BM_FrameSerialize(benchmark::State& state) {
+  odmrp::DataHeader h;
+  h.group = 1;
+  h.source = 3;
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    h.seq = ++seq;
+    auto payload = net::Packet::build(
+        net::PacketKind::Data, 3, odmrp::kDataHeaderBytes + 512,
+        SimTime::zero(), 0, [&h](net::ByteWriter& w) {
+          h.writeTo(w);
+          w.zeros(512);
+        });
+    mac::Frame f;
+    f.header.type = mac::FrameType::Data;
+    f.header.src = 3;
+    f.header.seq = static_cast<std::uint16_t>(seq);
+    f.payload = payload;
+    std::uint8_t buf[phy::PhyFrame::kMaxHeaderBytes];
+    const std::size_t headerLen = f.serializeHeader(buf);
+    auto frame = phy::makeFrame(std::span<const std::uint8_t>{buf, headerLen},
+                                f.sizeBytes(), std::move(payload));
+    benchmark::DoNotOptimize(frame->sizeBytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameSerialize);
+
+// End-to-end pooled frame round trip: node 0's MAC broadcasts an ODMRP
+// data packet, the channel fans it out, every receiver's MAC delivers the
+// payload, and the rx callback decodes the header through the packet's
+// view cache (one parse per frame, not per receiver). hotpath_test pins
+// this path's zero-alloc property; this row tracks its cost.
+void BM_PacketRoundTrip(benchmark::State& state) {
+  sim::Simulator simulator;
+  phy::PhyParams params;
+  const int n = 12;
+  std::vector<Vec2> positions;
+  Rng place{17};
+  for (int i = 0; i < n; ++i) {
+    positions.push_back({place.uniform(0.0, 300.0), place.uniform(0.0, 300.0)});
+  }
+  auto model = std::make_unique<phy::GeometricLinkModel>(
+      params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+      std::make_unique<phy::RayleighFading>());
+  phy::Channel channel{simulator, std::move(model), Rng{18}};
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::Mac80211>> macs;
+  std::uint64_t decoded = 0;
+  for (int i = 0; i < n; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        simulator, static_cast<net::NodeId>(i), params));
+    channel.attach(*radios.back());
+    macs.push_back(std::make_unique<mac::Mac80211>(
+        simulator, *radios.back(), mac::MacParams{},
+        Rng{19}.fork("mac", static_cast<std::uint64_t>(i))));
+    macs.back()->setReceiveCallback(
+        [&decoded](const net::PacketPtr& p, net::NodeId) {
+          if (odmrp::DataHeader::decode(*p) != nullptr) ++decoded;
+        });
+  }
+  odmrp::DataHeader h;
+  h.group = 1;
+  h.source = 0;
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    h.seq = ++seq;
+    auto p = net::Packet::build(
+        net::PacketKind::Data, 0, odmrp::kDataHeaderBytes + 512,
+        simulator.now(), 0, [&h](net::ByteWriter& w) {
+          h.writeTo(w);
+          w.zeros(512);
+        });
+    macs[0]->send(std::move(p), net::kBroadcastNode);
+    simulator.run(simulator.now() + 10_ms);  // drain the exchange
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decoded));
+}
+BENCHMARK(BM_PacketRoundTrip);
 
 void BM_ChannelBroadcastFanout(benchmark::State& state) {
   // 50 radios in the paper's area; one broadcast per iteration.

@@ -15,6 +15,7 @@ CbrSource::CbrSource(sim::Simulator& simulator,
       sendTimer_{simulator} {
   MESH_REQUIRE(config_.packetsPerSecond > 0.0);
   MESH_REQUIRE(config_.stop > config_.start);
+  payload_.assign(config_.payloadBytes, 0xC5);
 }
 
 void CbrSource::start() {
@@ -43,8 +44,7 @@ void CbrSource::start() {
 }
 
 void CbrSource::sendOne() {
-  std::vector<std::uint8_t> payload(config_.payloadBytes, 0xC5);
-  protocol_.sendData(config_.group, std::move(payload));
+  protocol_.sendData(config_.group, payload_);
   ++packetsSent_;
   bytesSent_ += config_.payloadBytes;
 }

@@ -7,6 +7,7 @@
 // when traffic starts.
 
 #include <cstdint>
+#include <vector>
 
 #include "mesh/common/rng.hpp"
 #include "mesh/common/simtime.hpp"
@@ -48,6 +49,9 @@ class CbrSource {
   Rng rng_;
   sim::Timer startTimer_;
   sim::PeriodicTimer sendTimer_;
+  // One payload buffer for the whole run — sendData copies it into the
+  // pooled wire packet, so per-packet allocation would be pure waste.
+  std::vector<std::uint8_t> payload_;
   std::uint64_t packetsSent_{0};
   std::uint64_t bytesSent_{0};
 };

@@ -197,6 +197,17 @@ bool Simulation::diskGraphConnected(const std::vector<Vec2>& positions,
   return true;
 }
 
+void Simulation::installPool(sim::Simulator& sim) {
+  pools_.push_back(std::make_unique<net::PacketPool>());
+  net::PacketPool* pool = pools_.back().get();
+  // Save/restore the previous active pool so nested run() scopes (a test
+  // driving one simulation from inside another's event) stay balanced.
+  auto prev = std::make_shared<net::PacketPool*>(nullptr);
+  sim.setRunScope(
+      [pool, prev] { *prev = net::PacketPool::setCurrent(pool); },
+      [prev] { net::PacketPool::setCurrent(*prev); });
+}
+
 void Simulation::build() {
   Rng rng{config_.seed};
 
@@ -242,6 +253,8 @@ void Simulation::build() {
     buildMultiChannel(rng);
     return;
   }
+
+  installPool(simulator_);
 
   if (!config_.tracePath.empty()) {
     trace_ = std::make_unique<trace::TraceCollector>(config_.tracePath +
@@ -436,6 +449,7 @@ void Simulation::buildMultiChannel(Rng& rng) {
       domainTraces_.push_back(std::move(collector));
     }
     domainSims_.push_back(std::make_unique<sim::Simulator>());
+    installPool(*domainSims_[d]);
     domainRegistries_.push_back(std::make_unique<trace::CounterRegistry>());
     std::unique_ptr<phy::FadingModel> fading;
     if (config_.rayleighFading) {

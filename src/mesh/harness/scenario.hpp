@@ -23,6 +23,7 @@
 #include "mesh/fault/recovery_analyzer.hpp"
 #include "mesh/harness/mesh_node.hpp"
 #include "mesh/metrics/metric.hpp"
+#include "mesh/net/pool.hpp"
 #include "mesh/phy/channel.hpp"
 #include "mesh/phy/link_model.hpp"
 #include "mesh/sim/simulator.hpp"
@@ -304,7 +305,16 @@ class Simulation {
   static bool diskGraphConnected(const std::vector<Vec2>& positions,
                                  double rangeM);
 
+  // Installs a fresh PacketPool scoped to `sim`'s run loop (DESIGN §12):
+  // the pool becomes the thread's active pool for exactly the events that
+  // simulator executes, so concurrent domain simulators never share one.
+  void installPool(sim::Simulator& sim);
+
   ScenarioConfig config_;
+  // One slab pool per simulator (legacy: one; multi-channel: one per
+  // domain). Pool impls are refcounted by their live packets, so member
+  // order relative to packet holders below is immaterial.
+  std::vector<std::unique_ptr<net::PacketPool>> pools_;
   sim::Simulator simulator_;
   trace::CounterRegistry registry_;
   std::unique_ptr<trace::TraceCollector> trace_;  // null unless tracePath set

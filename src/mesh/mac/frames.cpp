@@ -32,10 +32,10 @@ std::size_t Frame::sizeBytes() const {
   return headerBytes(header.type) + (payload ? payload->sizeBytes() : 0);
 }
 
-std::vector<std::uint8_t> Frame::serialize() const {
-  std::vector<std::uint8_t> out;
-  out.reserve(sizeBytes());
-  net::ByteWriter w{out};
+std::size_t Frame::serializeHeader(std::span<std::uint8_t> out) const {
+  const std::size_t headerLen = headerBytes(header.type);
+  MESH_REQUIRE(out.size() >= headerLen);
+  net::ByteWriter w{out.first(headerLen)};
   w.u8(static_cast<std::uint8_t>(header.type));
   w.u8(header.retry ? 1 : 0);
   w.u16(header.durationUs);
@@ -44,10 +44,17 @@ std::vector<std::uint8_t> Frame::serialize() const {
   w.u16(header.seq);
   // Pad the header to its standard on-air length (addresses we do not
   // model, frame control subfields, FCS).
-  const std::size_t headerLen = headerBytes(header.type);
-  MESH_ASSERT(out.size() <= headerLen);
-  w.zeros(headerLen - out.size());
-  if (payload) w.bytes(payload->bytes());
+  MESH_ASSERT(w.size() <= headerLen);
+  w.zeros(headerLen - w.size());
+  return headerLen;
+}
+
+std::vector<std::uint8_t> Frame::serialize() const {
+  std::vector<std::uint8_t> out(headerBytes(header.type));
+  serializeHeader(out);
+  if (payload) {
+    out.insert(out.end(), payload->bytes().begin(), payload->bytes().end());
+  }
   return out;
 }
 

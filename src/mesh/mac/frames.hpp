@@ -48,6 +48,12 @@ struct Frame {
   // Total on-air MAC size in bytes.
   std::size_t sizeBytes() const;
 
+  // Writes the padded on-air header (everything except the payload bytes)
+  // into `out` — which must hold at least headerBytes(type) — and returns
+  // that length. The hot path: the MAC serializes into a stack buffer and
+  // the payload rides in the frame as a pooled pointer, so no vector is
+  // ever built per transmission.
+  std::size_t serializeHeader(std::span<std::uint8_t> out) const;
   std::vector<std::uint8_t> serialize() const;
   // Parses header + recovers the payload span. Returns nullopt on a
   // malformed buffer (too short / unknown type).

@@ -26,6 +26,7 @@ Mac80211::Mac80211(sim::Simulator& simulator, phy::Radio& radio,
       });
   radio_.setMediumCallback([this](bool busy) { onPhysicalMedium(busy); });
   dupCache_.assign(params_.dupCacheSize, {net::kInvalidNode, 0});
+  queue_.init(params_.queueLimit);
 }
 
 // --------------------------------------------------------------- medium
@@ -88,7 +89,7 @@ void Mac80211::send(net::PacketPtr payload, net::NodeId dst) {
   job.seq = ++seqCounter_;
   job.usesRts = dst != net::kBroadcastNode &&
                 job.payload->sizeBytes() > params_.rtsThresholdBytes;
-  queue_.push_back(std::move(job));
+  queue_.push(std::move(job));
   ++stats_.enqueued;
   if (trace_ != nullptr) {
     trace_->enqueue(simulator_.now(), nodeId(), *queue_.back().payload);
@@ -99,8 +100,7 @@ void Mac80211::send(net::PacketPtr payload, net::NodeId dst) {
 void Mac80211::startJobIfIdle() {
   if (current_ || queue_.empty()) return;
   if (waitState_ != WaitState::None) return;
-  current_ = std::move(queue_.front());
-  queue_.pop_front();
+  current_ = queue_.pop();
   const bool force = needBackoff_;
   needBackoff_ = false;
   beginContention(force);
@@ -190,7 +190,13 @@ rate::TxVector Mac80211::vectorFor(const TxJob& job) {
 }
 
 void Mac80211::transmitFrame(const Frame& frame, rate::TxVector v) {
-  auto phyFrame = phy::makeFrame(frame.serialize(), frame.payload, v);
+  // Serialize the padded header into a stack buffer; the payload bytes stay
+  // in the pooled packet the frame carries. Zero heap traffic per frame.
+  std::uint8_t header[kDataHeaderBytes];
+  const std::size_t headerLen = frame.serializeHeader(header);
+  auto phyFrame =
+      phy::makeFrame(std::span<const std::uint8_t>{header, headerLen},
+                     frame.sizeBytes(), frame.payload, v);
   radio_.transmit(phyFrame, airtime(phyFrame->sizeBytes(), v));
 }
 
@@ -328,7 +334,7 @@ void Mac80211::finishJob(bool success) {
 void Mac80211::onRadioReceive(const phy::PhyFramePtr& frame,
                               const phy::RxInfo& info) {
   (void)info;
-  const auto header = Frame::parseHeader(frame->bytes);
+  const auto header = Frame::parseHeader(frame->headerBytes());
   if (!header) return;
   const FrameHeader& h = *header;
 

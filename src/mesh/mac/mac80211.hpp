@@ -20,7 +20,6 @@
 // before the next frame; a frame arriving to an idle MAC with the medium
 // idle ≥ DIFS is sent immediately.
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -118,6 +117,36 @@ class Mac80211 {
     bool usesRts{false};
   };
 
+  // Fixed-capacity FIFO of pending payloads: a ring over a flat vector
+  // sized once to queueLimit. std::deque would allocate/free its block
+  // pages in steady flow; this never touches the heap after init.
+  class TxQueue {
+   public:
+    void init(std::size_t capacity) { slots_.resize(capacity); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    const TxJob& back() const {
+      return slots_[(head_ + count_ - 1) % slots_.size()];
+    }
+    void push(TxJob&& job) {
+      MESH_ASSERT(count_ < slots_.size());
+      slots_[(head_ + count_) % slots_.size()] = std::move(job);
+      ++count_;
+    }
+    TxJob pop() {
+      MESH_ASSERT(count_ > 0);
+      TxJob job = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+      return job;
+    }
+
+   private:
+    std::vector<TxJob> slots_;
+    std::size_t head_{0};
+    std::size_t count_{0};
+  };
+
   enum class WaitState { None, Cts, Ack };
 
   // --- medium state -------------------------------------------------------
@@ -170,7 +199,7 @@ class Mac80211 {
   rate::RateController* rateController_{nullptr};
   const rate::RateTable* rateTable_{nullptr};
 
-  std::deque<TxJob> queue_;
+  TxQueue queue_;
   std::optional<TxJob> current_;
   std::uint16_t seqCounter_{0};
 

@@ -247,15 +247,20 @@ bool TreeMulticast::isForwarder(net::GroupId group) const {
   return false;
 }
 
-void TreeMulticast::sendData(net::GroupId group, std::vector<std::uint8_t> payload) {
+void TreeMulticast::sendData(net::GroupId group,
+                             std::span<const std::uint8_t> payload) {
   DataHeader header;
   header.group = group;
   header.source = self_;
   header.seq = dataSeq_[group]++;
   dataDupCache_.checkAndInsert(group, self_, header.seq);
 
-  auto packet = net::Packet::make(net::PacketKind::Data, self_,
-                                  header.serializeWith(payload), simulator_.now());
+  auto packet = net::Packet::build(
+      net::PacketKind::Data, self_, odmrp::kDataHeaderBytes + payload.size(),
+      simulator_.now(), 0, [&](net::ByteWriter& w) {
+        header.writeTo(w);
+        w.bytes(payload);
+      });
   ++stats_.dataOriginated;
   stats_.dataBytesSent += packet->sizeBytes();
   if (trace_ != nullptr) {
@@ -265,9 +270,9 @@ void TreeMulticast::sendData(net::GroupId group, std::vector<std::uint8_t> paylo
 }
 
 void TreeMulticast::handleData(const net::PacketPtr& packet, net::NodeId from) {
-  std::span<const std::uint8_t> payload;
-  const auto header = DataHeader::parse(packet->bytes(), &payload);
-  if (!header) return;
+  // Decode-once: every receiver of this broadcast shares one cached parse.
+  const DataHeader* header = DataHeader::decode(*packet);
+  if (header == nullptr) return;
   if (header->source == self_) return;
 
   if (!dataDupCache_.checkAndInsert(header->group, header->source, header->seq)) {
@@ -282,7 +287,8 @@ void TreeMulticast::handleData(const net::PacketPtr& packet, net::NodeId from) {
   if (members_.contains(header->group)) {
     ++stats_.dataDelivered;
     if (deliver_) {
-      deliver_(header->group, header->source, header->seq, packet, payload);
+      deliver_(header->group, header->source, header->seq, packet,
+               packet->bytes().subspan(odmrp::kDataHeaderBytes));
     }
   }
 
@@ -307,13 +313,13 @@ void TreeMulticast::onPacket(const net::PacketPtr& packet, net::NodeId from) {
   if (!type) return;
   switch (*type) {
     case MessageType::JoinQuery: {
-      const auto query = JoinQuery::parse(packet->bytes());
-      if (query) handleQuery(*query, packet, from);
+      const JoinQuery* query = JoinQuery::decode(*packet);
+      if (query != nullptr) handleQuery(*query, packet, from);
       break;
     }
     case MessageType::JoinReply: {
-      const auto reply = JoinReply::parse(packet->bytes());
-      if (reply) handleReply(*reply, from);
+      const JoinReply* reply = JoinReply::decode(*packet);
+      if (reply != nullptr) handleReply(*reply, from);
       break;
     }
     case MessageType::Data:

@@ -75,7 +75,7 @@ class TreeMulticast final : public net::MulticastProtocol {
   void startSource(net::GroupId group) override;
   void stopSource(net::GroupId group) override;
 
-  void sendData(net::GroupId group, std::vector<std::uint8_t> payload) override;
+  void sendData(net::GroupId group, std::span<const std::uint8_t> payload) override;
   void setDeliverCallback(DeliverFn cb) override { deliver_ = std::move(cb); }
 
   void onPacket(const net::PacketPtr& packet, net::NodeId from) override;

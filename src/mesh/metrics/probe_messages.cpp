@@ -18,14 +18,9 @@ namespace {
 constexpr std::uint8_t kRateExtMarker = 0xA5;
 }  // namespace
 
-std::vector<std::uint8_t> ProbeMessage::serialize() const {
+void ProbeMessage::writeTo(net::ByteWriter& w) const {
   MESH_REQUIRE(report.size() <= 255);
   MESH_REQUIRE(rateReport.size() <= 255);
-  std::vector<std::uint8_t> out;
-  const std::size_t target =
-      type == ProbeType::PairLarge ? kLargeProbeBytes : kSmallProbeBytes;
-  out.reserve(target);
-  net::ByteWriter w{out};
   w.u8(static_cast<std::uint8_t>(type));
   w.u16(sender);
   w.u32(seq);
@@ -45,7 +40,16 @@ std::vector<std::uint8_t> ProbeMessage::serialize() const {
       w.u8(entry.dfQ);
     }
   }
-  if (out.size() < target) w.zeros(target - out.size());
+  const std::size_t total = wireBytes();
+  MESH_ASSERT(w.size() <= total);
+  if (w.size() < total) w.zeros(total - w.size());
+}
+
+std::vector<std::uint8_t> ProbeMessage::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wireBytes());
+  net::ByteWriter w{out};
+  writeTo(w);
   return out;
 }
 

@@ -64,14 +64,30 @@ struct ProbeMessage {
   // Serialized size: fields (+ report) padded up to the nominal probe
   // size; a large report can grow the probe beyond it, costing airtime —
   // the realistic price of bidirectional measurement.
+  std::size_t wireBytes() const {
+    std::size_t n = 8 + report.size() * 3;
+    if (txCode != 0) n += 7 + rateReport.size() * 4;
+    const std::size_t target =
+        type == ProbeType::PairLarge ? kLargeProbeBytes : kSmallProbeBytes;
+    return n > target ? n : target;
+  }
+  // Emits exactly wireBytes() into a fresh writer (growable or fixed).
+  void writeTo(net::ByteWriter& w) const;
   std::vector<std::uint8_t> serialize() const;
   static std::optional<ProbeMessage> parse(std::span<const std::uint8_t> bytes);
+  // Decode-once: all receivers of one probe broadcast share a single parse
+  // through the packet's view cache.
+  static const ProbeMessage* decode(const net::Packet& p) {
+    return p.view<ProbeMessage>(
+        [](std::span<const std::uint8_t> b) { return parse(b); });
+  }
 
   net::PacketPtr toPacket(SimTime now) const {
     // txCode doubles as the MAC rate hint: the embedded code must match
     // the rate the frame actually flies at.
-    return net::Packet::make(net::PacketKind::Probe, sender, serialize(), now,
-                             txCode);
+    return net::Packet::build(net::PacketKind::Probe, sender, wireBytes(), now,
+                              txCode,
+                              [this](net::ByteWriter& w) { writeTo(w); });
   }
 };
 

@@ -122,8 +122,9 @@ void ProbeService::sendProbes() {
 }
 
 void ProbeService::onPacket(const net::PacketPtr& packet, SimTime now) {
-  const auto probe = ProbeMessage::parse(packet->bytes());
-  if (!probe) return;
+  // Decode-once: the k receivers of one probe broadcast share this parse.
+  const ProbeMessage* probe = ProbeMessage::decode(*packet);
+  if (probe == nullptr) return;
   if (probe->sender == self_) return;  // own probe echoed back — impossible
                                        // on a radio, defensive anyway
   ++stats_.probesReceived;

@@ -18,9 +18,22 @@ namespace mesh::net {
 
 class ByteWriter {
  public:
+  // Growable mode: appends to `out`.
   explicit ByteWriter(std::vector<std::uint8_t>& out) : out_{&out} {}
+  // Fixed-capacity mode: writes into `buf` in place, no allocation ever.
+  // Overflow is a programming error (writers reserve their exact wire
+  // size), enforced by MESH_ASSERT.
+  explicit ByteWriter(std::span<std::uint8_t> buf)
+      : buf_{buf.data()}, cap_{buf.size()} {}
 
-  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u8(std::uint8_t v) {
+    if (out_ != nullptr) {
+      out_->push_back(v);
+    } else {
+      MESH_ASSERT(pos_ < cap_);
+      buf_[pos_++] = v;
+    }
+  }
   void u16(std::uint16_t v) { appendLe(v); }
   void u32(std::uint32_t v) { appendLe(v); }
   void u64(std::uint64_t v) { appendLe(v); }
@@ -32,21 +45,39 @@ class ByteWriter {
     appendLe(bits);
   }
   void bytes(std::span<const std::uint8_t> data) {
-    out_->insert(out_->end(), data.begin(), data.end());
+    if (out_ != nullptr) {
+      out_->insert(out_->end(), data.begin(), data.end());
+    } else {
+      MESH_ASSERT(cap_ - pos_ >= data.size());
+      if (!data.empty()) std::memcpy(buf_ + pos_, data.data(), data.size());
+      pos_ += data.size();
+    }
   }
   // Reserve `n` zero bytes (padding / payload placeholder).
-  void zeros(std::size_t n) { out_->insert(out_->end(), n, 0); }
+  void zeros(std::size_t n) {
+    if (out_ != nullptr) {
+      out_->insert(out_->end(), n, 0);
+    } else {
+      MESH_ASSERT(cap_ - pos_ >= n);
+      std::memset(buf_ + pos_, 0, n);
+      pos_ += n;
+    }
+  }
 
-  std::size_t size() const { return out_->size(); }
+  // Bytes written so far (vector size in growable mode).
+  std::size_t size() const { return out_ != nullptr ? out_->size() : pos_; }
 
  private:
   template <typename T>
   void appendLe(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      u8(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
-  std::vector<std::uint8_t>* out_;
+  std::vector<std::uint8_t>* out_{nullptr};
+  std::uint8_t* buf_{nullptr};
+  std::size_t cap_{0};
+  std::size_t pos_{0};
 };
 
 class ByteReader {

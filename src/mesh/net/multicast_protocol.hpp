@@ -59,8 +59,10 @@ class MulticastProtocol {
   virtual void startSource(GroupId group) = 0;
   virtual void stopSource(GroupId group) = 0;
 
-  // Data path.
-  virtual void sendData(GroupId group, std::vector<std::uint8_t> payload) = 0;
+  // Data path. The protocol copies `payload` into its (pooled) wire packet
+  // before returning, so callers may reuse the buffer — the CBR source keeps
+  // one payload buffer for the whole run.
+  virtual void sendData(GroupId group, std::span<const std::uint8_t> payload) = 0;
   virtual void setDeliverCallback(DeliverFn cb) = 0;
 
   // Called for every received packet of kinds Control and Data.

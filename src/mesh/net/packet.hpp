@@ -6,18 +6,28 @@
 // immutable once handed to the channel and shared by pointer so that a
 // broadcast frame fanning out to twenty receivers copies nothing.
 //
+// Storage: Packet objects live in PacketPool slots with the payload bytes
+// inline after the object (no separate vector), refcounted intrusively via
+// PacketPtr (= RefPtr<const Packet>). Writers serialize straight into the
+// pooled buffer through build()'s exact-size ByteWriter, and receivers share
+// one decode per frame through the view<>() cache — see DESIGN §12.
+//
 // Byte accounting matters: Table 1 reports probe bytes as a percentage of
 // data bytes received, so every header contributes its true size.
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
+#include <new>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "mesh/common/assert.hpp"
 #include "mesh/common/simtime.hpp"
 #include "mesh/net/addr.hpp"
+#include "mesh/net/buffer.hpp"
+#include "mesh/net/pool.hpp"
 
 namespace mesh::net {
 
@@ -33,53 +43,148 @@ enum class PacketKind : std::uint8_t {
 const char* toString(PacketKind kind);
 
 class Packet;
-using PacketPtr = std::shared_ptr<const Packet>;
+using PacketPtr = RefPtr<const Packet>;
 
 class Packet {
  public:
-  // Creates a packet owning `bytes`. `origin` is the node that *created*
-  // the packet (not the current transmitter — that is MAC-level state).
-  // `rateHint` pins the MAC's rate choice for this packet (RateTable code;
-  // 0 = let the rate controller decide): probes stamped with a lookaround
-  // rate must actually transmit at it.
+  // Serialize-into-slab factory: allocates a pooled packet whose payload is
+  // exactly `sizeBytes` long and hands `fill` a fixed-capacity ByteWriter
+  // over that buffer. `fill` must write exactly `sizeBytes` bytes (asserted)
+  // — message writers know their wire size up front, so no temporary vector
+  // is ever built. `origin` is the node that *created* the packet (not the
+  // current transmitter — that is MAC-level state). `rateHint` pins the
+  // MAC's rate choice for this packet (RateTable code; 0 = let the rate
+  // controller decide): probes stamped with a lookaround rate must actually
+  // transmit at it.
+  template <typename FillFn>
+  static PacketPtr build(PacketKind kind, NodeId origin, std::size_t sizeBytes,
+                         SimTime created, std::uint8_t rateHint,
+                         FillFn&& fill) {
+    PacketPool& pool = PacketPool::active();
+    void* slot = pool.allocate(sizeof(Packet) + sizeBytes);
+    auto* p = new (slot)
+        Packet{kind, origin, rateHint, created,
+               static_cast<std::uint32_t>(sizeBytes), pool.nextUid()};
+    ByteWriter w{std::span<std::uint8_t>{p->payloadData(), sizeBytes}};
+    fill(w);
+    MESH_ASSERT(w.size() == sizeBytes);
+    return PacketPtr::adopt(p);
+  }
+
+  // Copying factories for call sites that already hold serialized bytes
+  // (tests, cold paths). Same pooled storage underneath.
+  static PacketPtr make(PacketKind kind, NodeId origin,
+                        std::span<const std::uint8_t> bytes, SimTime created,
+                        std::uint8_t rateHint = 0) {
+    return build(kind, origin, bytes.size(), created, rateHint,
+                 [&](ByteWriter& w) { w.bytes(bytes); });
+  }
   static PacketPtr make(PacketKind kind, NodeId origin,
                         std::vector<std::uint8_t> bytes, SimTime created,
                         std::uint8_t rateHint = 0) {
-    return std::make_shared<const Packet>(PrivateTag{}, kind, origin,
-                                          std::move(bytes), created, rateHint);
+    return make(kind, origin, std::span<const std::uint8_t>{bytes}, created,
+                rateHint);
   }
-
-  struct PrivateTag {};  // make_shared needs a public ctor; keep it unusable
-  Packet(PrivateTag, PacketKind kind, NodeId origin,
-         std::vector<std::uint8_t> bytes, SimTime created,
-         std::uint8_t rateHint = 0)
-      : uid_{nextUid()},
-        kind_{kind},
-        rateHint_{rateHint},
-        origin_{origin},
-        created_{created},
-        bytes_{std::move(bytes)} {}
 
   std::uint64_t uid() const { return uid_; }
   PacketKind kind() const { return kind_; }
   std::uint8_t rateHint() const { return rateHint_; }
   NodeId origin() const { return origin_; }
   SimTime createdAt() const { return created_; }
-  std::size_t sizeBytes() const { return bytes_.size(); }
-  std::span<const std::uint8_t> bytes() const { return bytes_; }
-
- private:
-  static std::uint64_t nextUid() {
-    static std::atomic<std::uint64_t> counter{0};
-    return ++counter;
+  std::size_t sizeBytes() const { return size_; }
+  std::span<const std::uint8_t> bytes() const {
+    return {payloadData(), size_};
   }
 
+  // --- decode-once view cache ----------------------------------------------
+  // Parses this packet's bytes at most once per view type V and caches the
+  // result in an inline buffer, so a broadcast fanning out to k receivers
+  // decodes once instead of k times. `parse` takes the payload bytes and
+  // returns std::optional<V>; a failed parse is cached too (nullptr).
+  // The cache is logically part of decoding immutable bytes, hence usable
+  // through PacketPtr; packets never cross collision domains, so the mutable
+  // slots are single-threaded (same argument as the refcount).
+  static constexpr std::size_t kViewBytes = 96;
+
+  template <typename V, typename ParseFn>
+  const V* view(ParseFn&& parse) const {
+    static_assert(sizeof(V) <= kViewBytes,
+                  "raise Packet::kViewBytes for this view type");
+    static_assert(alignof(V) <= alignof(std::max_align_t));
+    const void* tag = viewTagFor<V>();
+    if (viewTag_ != tag) {
+      destroyView();
+      viewTag_ = tag;
+      std::optional<V> parsed = parse(bytes());
+      if (parsed.has_value()) {
+        new (static_cast<void*>(viewBuf_)) V{std::move(*parsed)};
+        if constexpr (!std::is_trivially_destructible_v<V>) {
+          viewDestroy_ = [](void* p) noexcept { static_cast<V*>(p)->~V(); };
+        }
+        viewValid_ = true;
+      }
+    }
+    return viewValid_ ? std::launder(reinterpret_cast<const V*>(viewBuf_))
+                      : nullptr;
+  }
+
+  // --- intrusive refcount (driven by RefPtr) -------------------------------
+  void retain() const noexcept { ++refs_; }
+  void release() const noexcept {
+    if (--refs_ == 0) {
+      Packet* self = const_cast<Packet*>(this);
+      self->~Packet();
+      PacketPool::release(self);
+    }
+  }
+
+ private:
+  Packet(PacketKind kind, NodeId origin, std::uint8_t rateHint,
+         SimTime created, std::uint32_t size, std::uint64_t uid)
+      : refs_{1},
+        size_{size},
+        uid_{uid},
+        created_{created},
+        origin_{origin},
+        kind_{kind},
+        rateHint_{rateHint} {}
+  ~Packet() { destroyView(); }
+
+  // Payload bytes live immediately after the object in the pool slot.
+  std::uint8_t* payloadData() {
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  const std::uint8_t* payloadData() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+
+  template <typename V>
+  static const void* viewTagFor() {
+    static constexpr char tag = 0;  // unique address per V
+    return &tag;
+  }
+
+  void destroyView() const noexcept {
+    if (viewDestroy_ != nullptr) {
+      viewDestroy_(viewBuf_);
+      viewDestroy_ = nullptr;
+    }
+    viewValid_ = false;
+    viewTag_ = nullptr;
+  }
+
+  mutable std::uint32_t refs_;
+  std::uint32_t size_;
   std::uint64_t uid_;
+  SimTime created_;
+  NodeId origin_;
   PacketKind kind_;
   std::uint8_t rateHint_;
-  NodeId origin_;
-  SimTime created_;
-  std::vector<std::uint8_t> bytes_;
+  // View cache (see above). Mutable: decoding is logically const.
+  mutable const void* viewTag_{nullptr};
+  mutable void (*viewDestroy_)(void*) noexcept {nullptr};
+  mutable bool viewValid_{false};
+  alignas(alignof(std::max_align_t)) mutable unsigned char viewBuf_[kViewBytes];
 };
 
 }  // namespace mesh::net

@@ -11,10 +11,7 @@ std::optional<MessageType> peekType(std::span<const std::uint8_t> bytes) {
   return static_cast<MessageType>(raw);
 }
 
-std::vector<std::uint8_t> JoinQuery::serialize() const {
-  std::vector<std::uint8_t> out;
-  out.reserve(kJoinQueryBytes);
-  net::ByteWriter w{out};
+void JoinQuery::writeTo(net::ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(MessageType::JoinQuery));
   w.u16(group);
   w.u16(source);
@@ -23,8 +20,15 @@ std::vector<std::uint8_t> JoinQuery::serialize() const {
   w.u8(metricKind);
   w.u16(prevHop);
   w.f64(pathCost);
-  MESH_ASSERT(out.size() <= kJoinQueryBytes);
-  w.zeros(kJoinQueryBytes - out.size());
+  MESH_ASSERT(w.size() <= kJoinQueryBytes);
+  w.zeros(kJoinQueryBytes - w.size());
+}
+
+std::vector<std::uint8_t> JoinQuery::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kJoinQueryBytes);
+  net::ByteWriter w{out};
+  writeTo(w);
   return out;
 }
 
@@ -45,11 +49,8 @@ std::optional<JoinQuery> JoinQuery::parse(std::span<const std::uint8_t> bytes) {
   return q;
 }
 
-std::vector<std::uint8_t> JoinReply::serialize() const {
+void JoinReply::writeTo(net::ByteWriter& w) const {
   MESH_REQUIRE(entries.size() <= 255);
-  std::vector<std::uint8_t> out;
-  out.reserve(kJoinReplyBaseBytes + entries.size() * kJoinReplyEntryBytes);
-  net::ByteWriter w{out};
   w.u8(static_cast<std::uint8_t>(MessageType::JoinReply));
   w.u16(group);
   w.u16(sender);
@@ -59,10 +60,15 @@ std::vector<std::uint8_t> JoinReply::serialize() const {
     w.u16(e.source);
     w.u16(e.nextHop);
   }
-  const std::size_t minSize =
-      kJoinReplyBaseBytes + entries.size() * kJoinReplyEntryBytes;
-  MESH_ASSERT(out.size() <= minSize);
-  w.zeros(minSize - out.size());
+  MESH_ASSERT(w.size() <= wireBytes());
+  w.zeros(wireBytes() - w.size());
+}
+
+std::vector<std::uint8_t> JoinReply::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wireBytes());
+  net::ByteWriter w{out};
+  writeTo(w);
   return out;
 }
 
@@ -88,17 +94,21 @@ std::optional<JoinReply> JoinReply::parse(std::span<const std::uint8_t> bytes) {
   return reply;
 }
 
+void DataHeader::writeTo(net::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(MessageType::Data));
+  w.u16(group);
+  w.u16(source);
+  w.u32(seq);
+  MESH_ASSERT(w.size() <= kDataHeaderBytes);
+  w.zeros(kDataHeaderBytes - w.size());
+}
+
 std::vector<std::uint8_t> DataHeader::serializeWith(
     std::span<const std::uint8_t> payload) const {
   std::vector<std::uint8_t> out;
   out.reserve(kDataHeaderBytes + payload.size());
   net::ByteWriter w{out};
-  w.u8(static_cast<std::uint8_t>(MessageType::Data));
-  w.u16(group);
-  w.u16(source);
-  w.u32(seq);
-  MESH_ASSERT(out.size() <= kDataHeaderBytes);
-  w.zeros(kDataHeaderBytes - out.size());
+  writeTo(w);
   w.bytes(payload);
   return out;
 }

@@ -41,10 +41,20 @@ struct JoinQuery {
   net::NodeId prevHop{net::kInvalidNode};  // the last transmitter
   double pathCost{0.0};
 
+  // Emits exactly kJoinQueryBytes into a fresh writer (growable or fixed).
+  void writeTo(net::ByteWriter& w) const;
   std::vector<std::uint8_t> serialize() const;
   static std::optional<JoinQuery> parse(std::span<const std::uint8_t> bytes);
+  // Decode-once: parses through the packet's view cache, so a query fanning
+  // out to k receivers is deserialized a single time.
+  static const JoinQuery* decode(const net::Packet& p) {
+    return p.view<JoinQuery>(
+        [](std::span<const std::uint8_t> b) { return parse(b); });
+  }
   net::PacketPtr toPacket(SimTime now) const {
-    return net::Packet::make(net::PacketKind::Control, source, serialize(), now);
+    return net::Packet::build(net::PacketKind::Control, source,
+                              kJoinQueryBytes, now, 0,
+                              [this](net::ByteWriter& w) { writeTo(w); });
   }
 };
 
@@ -59,10 +69,21 @@ struct JoinReply {
   std::uint32_t seq{0};  // the query round this reply answers
   std::vector<JoinReplyEntry> entries;
 
+  std::size_t wireBytes() const {
+    return kJoinReplyBaseBytes + entries.size() * kJoinReplyEntryBytes;
+  }
+  // Emits exactly wireBytes() into a fresh writer (growable or fixed).
+  void writeTo(net::ByteWriter& w) const;
   std::vector<std::uint8_t> serialize() const;
   static std::optional<JoinReply> parse(std::span<const std::uint8_t> bytes);
+  static const JoinReply* decode(const net::Packet& p) {
+    return p.view<JoinReply>(
+        [](std::span<const std::uint8_t> b) { return parse(b); });
+  }
   net::PacketPtr toPacket(SimTime now) const {
-    return net::Packet::make(net::PacketKind::Control, sender, serialize(), now);
+    return net::Packet::build(net::PacketKind::Control, sender, wireBytes(),
+                              now, 0,
+                              [this](net::ByteWriter& w) { writeTo(w); });
   }
 };
 
@@ -73,11 +94,20 @@ struct DataHeader {
   net::NodeId source{net::kInvalidNode};
   std::uint32_t seq{0};
 
+  // Emits exactly kDataHeaderBytes (header only) into a fresh writer.
+  void writeTo(net::ByteWriter& w) const;
   // Serializes header followed by `payload`.
   std::vector<std::uint8_t> serializeWith(std::span<const std::uint8_t> payload) const;
   // Parses the header and returns it; `payloadBytes` receives the rest.
   static std::optional<DataHeader> parse(std::span<const std::uint8_t> bytes,
                                          std::span<const std::uint8_t>* payloadBytes);
+  // Decode-once header view; the application payload is
+  // p.bytes().subspan(kDataHeaderBytes).
+  static const DataHeader* decode(const net::Packet& p) {
+    return p.view<DataHeader>([](std::span<const std::uint8_t> b) {
+      return parse(b, nullptr);
+    });
+  }
 };
 
 }  // namespace mesh::odmrp

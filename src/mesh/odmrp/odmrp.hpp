@@ -96,7 +96,7 @@ class Odmrp final : public net::MulticastProtocol {
   void stopSource(net::GroupId group) override;
 
   // --- data path -------------------------------------------------------
-  void sendData(net::GroupId group, std::vector<std::uint8_t> payload) override;
+  void sendData(net::GroupId group, std::span<const std::uint8_t> payload) override;
   void setDeliverCallback(DeliverFn cb) override { deliver_ = std::move(cb); }
 
   // Feed every received ODMRP packet (kinds Control and Data).

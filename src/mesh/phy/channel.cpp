@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "mesh/common/log.hpp"
+#include "mesh/phy/fading.hpp"
 #include "mesh/trace/trace_collector.hpp"
 
 namespace mesh::phy {
@@ -40,6 +41,16 @@ Channel::Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel
       spatialEnvOverride_{parseSpatialIndexEnv()} {
   MESH_REQUIRE(linkModel_ != nullptr);
   MESH_REQUIRE(fadingHeadroom_ >= 1.0);
+  scaledFading_ = linkModel_->meanScaledFading();
+  if (scaledFading_ == nullptr) {
+    fadingPath_ = FadingPath::Generic;
+  } else if (dynamic_cast<const RayleighFading*>(scaledFading_) != nullptr) {
+    fadingPath_ = FadingPath::Rayleigh;
+  } else if (dynamic_cast<const NoFading*>(scaledFading_) != nullptr) {
+    fadingPath_ = FadingPath::Unity;  // powerGain() == 1.0, draw-free
+  } else {
+    fadingPath_ = FadingPath::Virtual;
+  }
 }
 
 void Channel::attach(Radio& radio) {
@@ -79,6 +90,7 @@ void Channel::invalidateReachability() {
   // A full rebuild re-derives every row, so pending per-radio work is
   // absorbed rather than coalesced (it still happens — just all at once).
   dirtyRadios_.clear();
+  std::fill(dirtyMask_.begin(), dirtyMask_.end(), std::uint64_t{0});
 }
 
 void Channel::invalidateRadio(net::NodeId node) {
@@ -95,12 +107,18 @@ void Channel::invalidateRadio(net::NodeId node) {
     invalidateReachability();
     return;
   }
+  // O(1) membership test via the dirty bitmap (sized at build time, and
+  // attach is closed after the first build) — a linear scan of
+  // dirtyRadios_ would go quadratic under heavy churn at n >= 2000.
   const std::uint32_t index = it->second;
-  if (std::find(dirtyRadios_.begin(), dirtyRadios_.end(), index) !=
-      dirtyRadios_.end()) {
+  const std::size_t word = index >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (index & 63);
+  MESH_ASSERT(word < dirtyMask_.size());
+  if ((dirtyMask_[word] & bit) != 0) {
     ++stats_.coalescedInvalidations;  // already dirty: same rows, one pass
     return;
   }
+  dirtyMask_[word] |= bit;
   dirtyRadios_.push_back(index);
 }
 
@@ -196,6 +214,7 @@ void Channel::buildReachability() {
   reachable_.resize(radios_.size());
   for (std::size_t tx = 0; tx < radios_.size(); ++tx) buildRow(tx);
   dirtyRadios_.clear();  // a full build supersedes any pending row work
+  dirtyMask_.assign((radios_.size() + 63) / 64, 0);
   reachabilityBuilt_ = true;
   attachClosed_ = true;
   reachabilityBuiltAt_ = simulator_.now();
@@ -214,7 +233,8 @@ void Channel::applyDirtyRadios() {
   // no other row can gain or lose the dirty radio (pairs beyond the reach
   // radius always fail the mean-power predicate). Positions are the
   // build-time snapshot, which static geometry keeps authoritative.
-  std::vector<std::uint32_t> affected;
+  std::vector<std::uint32_t>& affected = dirtyScratch_;
+  affected.clear();
   for (const std::uint32_t dirty : dirtyRadios_) {
     affected.push_back(dirty);
     grid_.candidatesWithin(gridPositions_[dirty], reachRadiusM_, affected);
@@ -223,6 +243,9 @@ void Channel::applyDirtyRadios() {
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
   for (const std::uint32_t row : affected) buildRow(row);
+  for (const std::uint32_t dirty : dirtyRadios_) {
+    dirtyMask_[dirty >> 6] &= ~(std::uint64_t{1} << (dirty & 63));
+  }
   dirtyRadios_.clear();
   ++stats_.incrementalRebuilds;
   stats_.rowsRebuilt += affected.size();
@@ -266,28 +289,46 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
   const std::size_t txIndex = sender.channelIndex();
   MESH_ASSERT(txIndex < radios_.size() && radios_[txIndex] == &sender);
   const net::NodeId txNode = sender.nodeId();
+  // Per-transmission invariants, hoisted out of the per-delivery loops:
+  // fault-free runs have no loss table, and legacy (code-0) frames never
+  // take a PER draw — the checks inside perCorrupted stay as a backstop
+  // but the fan-out no longer pays them per receiver.
+  const bool checkLoss = !linkLoss_.empty();
+  const bool ratePath = rateTable_ != nullptr && frame->tx.rateAware();
 
   if (cacheMeans_) {
-    // Hot path: flat slab of precomputed (receiver, mean, delay); the only
-    // virtual call left is the per-frame sampling draw.
+    // Hot path: flat slab of precomputed (receiver, mean, delay); with a
+    // mean-scaled fading model even the per-frame sampling draw is inlined
+    // (fadingPath_, classified at construction — same draws, same bits).
+    const FadingPath fp = fadingPath_;
+    std::uint64_t scheduled = 0;
     for (const CachedLink& link : reachable_[txIndex]) {
       Radio& receiver = *radios_[link.rxIndex];
-      if (!linkLoss_.empty() &&
-          lossSuppressed(txNode, receiver.nodeId(), frame)) {
+      if (checkLoss && lossSuppressed(txNode, receiver.nodeId(), frame)) {
         continue;
       }
-      const double powerW = linkModel_->samplePowerGivenMeanW(
-          txNode, receiver.nodeId(), link.meanPowerW, rng_);
+      double powerW;
+      if (fp == FadingPath::Rayleigh) {
+        powerW = link.meanPowerW * rng_.rayleighPowerGain();
+      } else if (fp == FadingPath::Unity) {
+        powerW = link.meanPowerW;
+      } else if (fp == FadingPath::Virtual) {
+        powerW = link.meanPowerW * scaledFading_->powerGain(rng_);
+      } else {
+        powerW = linkModel_->samplePowerGivenMeanW(
+            txNode, receiver.nodeId(), link.meanPowerW, rng_);
+      }
       // Signals with no carrier-sense significance are not worth an event.
       if (powerW < receiver.params().csThresholdW * 1e-3) continue;
-      const bool corrupted = perCorrupted(receiver, frame, powerW);
-      ++stats_.deliveriesScheduled;
+      const bool corrupted = ratePath && perCorrupted(receiver, frame, powerW);
+      ++scheduled;
       simulator_.schedule(
           link.propagation,
           [&receiver, frame, txNode, powerW, airtime, corrupted] {
             receiver.beginArrival(frame, txNode, powerW, airtime, corrupted);
           });
     }
+    stats_.deliveriesScheduled += scheduled;
     return;
   }
 
@@ -295,8 +336,7 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
   // queried live (the cache still bounds the fan-out via its headroom).
   for (const CachedLink& link : reachable_[txIndex]) {
     Radio& receiver = *radios_[link.rxIndex];
-    if (!linkLoss_.empty() &&
-        lossSuppressed(txNode, receiver.nodeId(), frame)) {
+    if (checkLoss && lossSuppressed(txNode, receiver.nodeId(), frame)) {
       continue;
     }
     const double powerW =
@@ -305,7 +345,7 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
 
     const double distance = linkModel_->distanceM(txNode, receiver.nodeId());
     const SimTime propagation = SimTime::seconds(distance / kSpeedOfLight);
-    const bool corrupted = perCorrupted(receiver, frame, powerW);
+    const bool corrupted = ratePath && perCorrupted(receiver, frame, powerW);
     ++stats_.deliveriesScheduled;
     simulator_.schedule(
         propagation, [&receiver, frame, txNode, powerW, airtime, corrupted] {

@@ -195,6 +195,14 @@ class Channel {
   double fadingHeadroom_;
   bool cacheMeans_{true};  // linkModel_->meansCacheable(), hoisted
 
+  // Specialization of the cached-means fading draw, classified once at
+  // construction from linkModel_->meanScaledFading(): Rayleigh and unity
+  // gains are drawn inline (identical draws, no virtual dispatch per
+  // receiver); anything else falls back to the generic sampling hook.
+  enum class FadingPath : std::uint8_t { Generic, Virtual, Unity, Rayleigh };
+  FadingPath fadingPath_{FadingPath::Generic};
+  const FadingModel* scaledFading_{nullptr};
+
   std::vector<Radio*> radios_;                 // indexed by attach order
   std::unordered_map<net::NodeId, std::uint32_t> nodeIndex_;  // id -> index
   std::vector<std::vector<CachedLink>> reachable_;  // per-radio receiver sets
@@ -207,6 +215,10 @@ class Channel {
   SpatialGrid grid_;
   std::vector<Vec2> gridPositions_;         // build-time position snapshot
   std::vector<std::uint32_t> dirtyRadios_;  // pending row invalidations
+  std::vector<std::uint64_t> dirtyMask_;    // bit per radio: already in
+                                            // dirtyRadios_ — O(1) dedup
+                                            // (mirrors rowMask_)
+  std::vector<std::uint32_t> dirtyScratch_; // affected-row buffer, reused
   std::vector<std::uint32_t> rowScratch_;   // candidate buffer for buildRow
   std::vector<std::uint64_t> rowMask_;      // candidate bitmap: ascending
                                             // iteration without a sort

@@ -1,37 +1,100 @@
 #pragma once
 // PhyFrame: what actually travels over the channel.
 //
-// `bytes` is the serialized MAC frame — its length defines airtime, so it
-// must be exact. `payload` is the upper-layer packet riding inside the
-// frame; carrying the pointer alongside the bytes preserves simulation
-// metadata (creation time for delay measurement, kind for byte accounting)
-// without inflating the on-air size. Receivers still *parse* the MAC
-// header from `bytes`; the pointer only spares them re-deserializing the
+// The MAC serializes its header into the frame's inline byte buffer (the
+// payload bytes stay in the pooled Packet — duplicating them on air would
+// only burn memory; `totalBytes_` carries the true on-air size, so airtime
+// is still exact). `payload` is the upper-layer packet riding inside the
+// frame; carrying the pointer preserves simulation metadata (creation time
+// for delay measurement, kind for byte accounting). Receivers parse the MAC
+// header from headerBytes(); the pointer spares them re-deserializing the
 // payload they themselves serialized.
+//
+// PhyFrames are pooled and intrusively refcounted exactly like Packets
+// (PacketPool slots, RefPtr) — a broadcast fanning out to k receivers
+// bumps one plain counter per delivery and allocates nothing.
 
-#include <memory>
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
+#include "mesh/common/assert.hpp"
 #include "mesh/net/packet.hpp"
+#include "mesh/net/pool.hpp"
 #include "mesh/rate/tx_vector.hpp"
 
 namespace mesh::phy {
 
-struct PhyFrame {
-  std::vector<std::uint8_t> bytes;
+class PhyFrame;
+using PhyFramePtr = net::RefPtr<const PhyFrame>;
+
+PhyFramePtr makeFrame(std::span<const std::uint8_t> header,
+                      std::size_t totalBytes, net::PacketPtr payload,
+                      rate::TxVector tx = {});
+
+class PhyFrame {
+ public:
+  // Large enough for the biggest MAC header (kDataHeaderBytes = 28).
+  static constexpr std::size_t kMaxHeaderBytes = 32;
+
   net::PacketPtr payload;  // null for MAC control frames (RTS/CTS/ACK)
   rate::TxVector tx;       // code 0 = legacy fixed-rate path
 
-  std::size_t sizeBytes() const { return bytes.size(); }
+  // True on-air size (header + payload): defines airtime.
+  std::size_t sizeBytes() const { return totalBytes_; }
+  // The serialized MAC header only — all any receiver ever parses.
+  std::span<const std::uint8_t> headerBytes() const {
+    return {header_, headerLen_};
+  }
+
+  void retain() const noexcept { ++refs_; }
+  void release() const noexcept {
+    if (--refs_ == 0) {
+      PhyFrame* self = const_cast<PhyFrame*>(this);
+      self->~PhyFrame();
+      net::PacketPool::release(self);
+    }
+  }
+
+ private:
+  friend PhyFramePtr makeFrame(std::span<const std::uint8_t>, std::size_t,
+                               net::PacketPtr, rate::TxVector);
+  PhyFrame(std::span<const std::uint8_t> header, std::size_t totalBytes,
+           net::PacketPtr pl, rate::TxVector txv)
+      : payload{std::move(pl)},
+        tx{txv},
+        refs_{1},
+        totalBytes_{static_cast<std::uint32_t>(totalBytes)},
+        headerLen_{static_cast<std::uint8_t>(header.size())} {
+    if (!header.empty()) std::memcpy(header_, header.data(), header.size());
+  }
+  ~PhyFrame() = default;
+
+  mutable std::uint32_t refs_;
+  std::uint32_t totalBytes_;
+  std::uint8_t headerLen_;
+  std::uint8_t header_[kMaxHeaderBytes];
 };
 
-using PhyFramePtr = std::shared_ptr<const PhyFrame>;
+inline PhyFramePtr makeFrame(std::span<const std::uint8_t> header,
+                             std::size_t totalBytes, net::PacketPtr payload,
+                             rate::TxVector tx) {
+  MESH_ASSERT(header.size() <= PhyFrame::kMaxHeaderBytes);
+  void* slot = net::PacketPool::active().allocate(sizeof(PhyFrame));
+  auto* f = new (slot) PhyFrame{header, totalBytes, std::move(payload), tx};
+  return PhyFramePtr::adopt(f);
+}
 
+// Legacy factory: keeps pre-pool call sites (tests/benches building junk
+// frames for airtime math) compiling. Only the header prefix is retained;
+// the vector's full size still defines the on-air bytes.
 inline PhyFramePtr makeFrame(std::vector<std::uint8_t> bytes,
-                             net::PacketPtr payload,
-                             rate::TxVector tx = {}) {
-  return std::make_shared<const PhyFrame>(
-      PhyFrame{std::move(bytes), std::move(payload), tx});
+                             net::PacketPtr payload, rate::TxVector tx = {}) {
+  const std::size_t n = std::min(bytes.size(), PhyFrame::kMaxHeaderBytes);
+  return makeFrame(std::span<const std::uint8_t>{bytes.data(), n},
+                   bytes.size(), std::move(payload), tx);
 }
 
 }  // namespace mesh::phy

@@ -62,6 +62,14 @@ class LinkModel {
     return sampleRxPowerW(from, to, rng);
   }
 
+  // Non-null iff samplePowerGivenMeanW is exactly
+  // `meanPowerW * fading->powerGain(rng)` for every link, independent of
+  // the pair. The channel then specializes its cached-means delivery loop
+  // on the concrete fading model (inlining the Rayleigh draw, skipping the
+  // unity draw) — same draws, same bits, no virtual dispatch per receiver.
+  // Models with per-link stochastic structure (loss matrices) decline.
+  virtual const FadingModel* meanScaledFading() const { return nullptr; }
+
   // --- spatial index support (Channel's O(k) reachability path) ----------
   // A geometric model exposes per-node positions plus a conservative
   // maximum reach radius so the channel can replace its O(n²) pair scan
@@ -123,6 +131,10 @@ class GeometricLinkModel final : public LinkModel {
     // Same product as sampleRxPowerW with the cached mean substituted for
     // the propagation recomputation: identical draws, identical bits.
     return meanPowerW * sampleFadingGain(rng);
+  }
+
+  const FadingModel* meanScaledFading() const override {
+    return fading_.get();
   }
 
   bool spatiallyIndexable() const override { return true; }

@@ -38,10 +38,12 @@ void SpatialGrid::build(const std::vector<Vec2>& positions, double cellSizeM) {
   }
   // Counting sort, stable in radio-index order: each cell's bucket lists
   // its radios ascending, which downstream sorts rely on being cheap.
+  // `next_` is a reused member so periodic rebuilds (mobility refresh)
+  // stay allocation-free once buffers hit their high-water marks.
   bucketed_.resize(positions.size());
-  std::vector<std::uint32_t> next(cellStart_.begin(), cellStart_.end() - 1);
+  next_.assign(cellStart_.begin(), cellStart_.end() - 1);
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    bucketed_[next[cellOf_[i]]++] = static_cast<std::uint32_t>(i);
+    bucketed_[next_[cellOf_[i]]++] = static_cast<std::uint32_t>(i);
   }
 }
 

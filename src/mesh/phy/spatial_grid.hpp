@@ -64,6 +64,7 @@ class SpatialGrid {
   std::vector<std::uint32_t> cellStart_;   // CSR offsets, size cells+1
   std::vector<std::uint32_t> bucketed_;    // radio indices, cell-major,
                                            // ascending within each cell
+  std::vector<std::uint32_t> next_;        // counting-sort cursor scratch
 };
 
 }  // namespace mesh::phy

@@ -1,18 +1,23 @@
 #pragma once
 // Pending-event set for the discrete-event engine.
 //
-// Layout: a flat 4-ary min-heap of 24-byte nodes (time, insertion seq,
-// slot index) over a slab of slots holding the callbacks. The secondary
-// `seq` key makes event ordering fully deterministic: two events scheduled
-// for the same instant fire in the order they were scheduled — the exact
-// (time, seq) contract of the original binary-heap implementation, so pop
-// sequences are bit-identical across both designs.
+// Layout: a flat 4-ary min-heap of 16-byte nodes (time, packed
+// seq-and-slot) over chunked slot storage holding the callbacks. The
+// insertion seq (the high bits of the packed word) makes event ordering
+// fully deterministic: two events scheduled for the same instant fire in
+// the order they were scheduled — the exact (time, seq) contract of the
+// original binary-heap implementation, so pop sequences are bit-identical
+// across designs. 16-byte nodes put a full sibling group of four on one
+// cache line, which is what the sift loops are bound by.
 //
 // Callbacks are SmallCallbacks: captures of up to 48 bytes (every hot-path
-// capture in the simulator) live inline in the slab, so the steady-state
-// push/pop cycle performs zero heap allocations. A 4-ary heap halves the
-// tree depth of a binary heap and keeps sibling nodes on one or two cache
-// lines, which is where the win comes from at 10⁷+ events per run.
+// capture in the simulator) live inline in the slot, so the steady-state
+// push/pop cycle performs zero heap allocations. Slots live in fixed-size
+// chunks — never reallocated — so the run loop (runEarliest) can invoke a
+// popped callback in place instead of relocating it out first; a push from
+// inside the running callback can grow the slot pool without moving it.
+// A 4-ary heap halves the tree depth of a binary heap, which is where the
+// win comes from at 10⁷+ events per run.
 //
 // Cancellation is an O(1) tombstone: each slot carries a generation that
 // is bumped when the slot is freed, and EventIds embed (generation, slot).
@@ -24,6 +29,8 @@
 // (frames, buffers) are released at cancel time.
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "mesh/common/assert.hpp"
@@ -52,13 +59,21 @@ class EventQueue {
  public:
   using Callback = SmallCallback;
 
-  EventId push(SimTime time, Callback cb) {
-    MESH_ASSERT(static_cast<bool>(cb));
+  // `cb` may be any void() callable; non-SmallCallback arguments are
+  // constructed directly in the slot (no intermediate SmallCallback, no
+  // relocation of the capture).
+  template <typename F>
+  EventId push(SimTime time, F&& cb) {
     const std::uint32_t slotIndex = acquireSlot();
-    Slot& slot = slots_[slotIndex];
-    slot.callback = std::move(cb);
+    Slot& slot = slotAt(slotIndex);
+    slot.callback = std::forward<F>(cb);
+    MESH_ASSERT(static_cast<bool>(slot.callback));
     slot.state = SlotState::Pending;
-    heap_.push_back(HeapNode{time, ++nextSeq_, slotIndex});
+    // The 24-bit slot field caps concurrently-pending events at 16.7M and
+    // the 40-bit seq wraps after 10¹² pushes — both far beyond any run.
+    MESH_ASSERT(nextSeq_ < (std::uint64_t{1} << kSeqBits) - 1);
+    heap_.push_back(
+        HeapNode{time, (++nextSeq_ << kSlotBits) | slotIndex});
     siftUp(heap_.size() - 1);
     ++live_;
     return EventId{(static_cast<std::uint64_t>(slot.generation) << 32) |
@@ -73,8 +88,8 @@ class EventQueue {
     if (!id.valid()) return false;
     const std::uint32_t slotIndex =
         static_cast<std::uint32_t>(id.raw() & 0xFFFFFFFFu) - 1;
-    if (slotIndex >= slots_.size()) return false;
-    Slot& slot = slots_[slotIndex];
+    if (slotIndex >= slotCount_) return false;
+    Slot& slot = slotAt(slotIndex);
     if (slot.generation != static_cast<std::uint32_t>(id.raw() >> 32) ||
         slot.state != SlotState::Pending) {
       return false;
@@ -105,20 +120,51 @@ class EventQueue {
     dropCancelledHead();
     MESH_REQUIRE(!heap_.empty());
     const HeapNode top = heap_.front();
-    Slot& slot = slots_[top.slot];
+    const std::uint32_t slotIndex = slotOf(top);
+    Slot& slot = slotAt(slotIndex);
     Popped out{top.time, std::move(slot.callback)};
-    releaseSlot(top.slot);
+    releaseSlot(slotIndex);
     popHeapRoot();
     MESH_ASSERT(live_ > 0);
     --live_;
     return out;
   }
 
+  // The run loop's fused nextTime()+pop()+invoke: one cancelled-head sweep
+  // per event, and the callback runs in place in its slot — no relocation
+  // of the capture. `pre(time)` fires after the pop bookkeeping and before
+  // the callback, so the caller can advance its clock. The slot returns to
+  // the free list only after the callback finishes (a push from inside it
+  // cannot reuse the storage), but its generation is bumped before, so a
+  // self-cancel during execution is a detectable no-op. Returns false —
+  // running nothing — when the earliest pending event is after `until`.
+  // Queue must not be empty.
+  template <typename PreFn>
+  bool runEarliest(SimTime until, PreFn&& pre) {
+    dropCancelledHead();
+    MESH_REQUIRE(!heap_.empty());
+    const HeapNode top = heap_.front();
+    if (top.time > until) return false;
+    const std::uint32_t slotIndex = slotOf(top);
+    Slot& slot = slotAt(slotIndex);
+    slot.state = SlotState::Free;
+    ++slot.generation;
+    popHeapRoot();
+    MESH_ASSERT(live_ > 0);
+    --live_;
+    pre(top.time);
+    slot.callback();
+    slot.callback.reset();
+    slot.nextFree = freeHead_;
+    freeHead_ = slotIndex;
+    return true;
+  }
+
   void clear() {
     heap_.clear();
     freeHead_ = kNilSlot;
-    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-      Slot& slot = slots_[i];
+    for (std::uint32_t i = 0; i < slotCount_; ++i) {
+      Slot& slot = slotAt(i);
       if (slot.state != SlotState::Free) {
         slot.callback.reset();
         releaseSlot(i);
@@ -133,6 +179,14 @@ class EventQueue {
 
  private:
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSeqBits = 40;
+  static constexpr std::uint64_t kSlotMask =
+      (std::uint64_t{1} << kSlotBits) - 1;
+  // 512 slots × ~80 B per chunk; chunks are stable for the life of the
+  // queue, so Slot references survive arbitrary pushes.
+  static constexpr std::uint32_t kChunkShift = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
 
   enum class SlotState : std::uint8_t { Free, Pending, Cancelled };
 
@@ -145,24 +199,35 @@ class EventQueue {
 
   struct HeapNode {
     SimTime time;
-    std::uint64_t seq;
-    std::uint32_t slot;
+    std::uint64_t order;  // (seq << kSlotBits) | slot: FIFO-unique tiebreak
   };
 
+  static std::uint32_t slotOf(const HeapNode& node) {
+    return static_cast<std::uint32_t>(node.order & kSlotMask);
+  }
+
   static bool before(const HeapNode& a, const HeapNode& b) {
+    // seq sits in order's high bits, so one integer compare breaks time
+    // ties in scheduling order (slot bits can never matter: seq is unique).
     if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
+    return a.order < b.order;
+  }
+
+  Slot& slotAt(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
   }
 
   std::uint32_t acquireSlot() {
     if (freeHead_ != kNilSlot) {
       const std::uint32_t index = freeHead_;
-      freeHead_ = slots_[index].nextFree;
+      freeHead_ = slotAt(index).nextFree;
       return index;
     }
-    MESH_ASSERT(slots_.size() < kNilSlot);
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    MESH_ASSERT(slotCount_ < (std::uint32_t{1} << kSlotBits));
+    if ((slotCount_ >> kChunkShift) == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    return slotCount_++;
   }
 
   // Frees the slot and bumps its generation so outstanding EventIds go
@@ -170,7 +235,7 @@ class EventQueue {
   // with slots recycled round-robin through the free list that is far
   // beyond any run length.
   void releaseSlot(std::uint32_t index) {
-    Slot& slot = slots_[index];
+    Slot& slot = slotAt(index);
     slot.state = SlotState::Free;
     ++slot.generation;
     slot.nextFree = freeHead_;
@@ -180,8 +245,8 @@ class EventQueue {
   // Discard tombstoned nodes while they occupy the heap root.
   void dropCancelledHead() {
     while (!heap_.empty() &&
-           slots_[heap_.front().slot].state == SlotState::Cancelled) {
-      releaseSlot(heap_.front().slot);
+           slotAt(slotOf(heap_.front())).state == SlotState::Cancelled) {
+      releaseSlot(slotOf(heap_.front()));
       popHeapRoot();
     }
   }
@@ -222,7 +287,8 @@ class EventQueue {
   }
 
   std::vector<HeapNode> heap_;
-  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slotCount_{0};
   std::uint32_t freeHead_{kNilSlot};
   std::uint64_t nextSeq_{0};
   std::size_t live_{0};

@@ -29,33 +29,48 @@ class Simulator {
   SimTime now() const { return now_; }
 
   // Schedule `cb` to run `delay` after now. Negative delays are clamped to
-  // zero (fire "immediately", still in deterministic order).
-  EventId schedule(SimTime delay, EventQueue::Callback cb) {
+  // zero (fire "immediately", still in deterministic order). Forwarded
+  // straight into the event slot: the capture is constructed exactly once.
+  template <typename F>
+  EventId schedule(SimTime delay, F&& cb) {
     if (delay.isNegative()) delay = SimTime::zero();
-    return queue_.push(now_ + delay, std::move(cb));
+    return queue_.push(now_ + delay, std::forward<F>(cb));
   }
 
   // Schedule at an absolute time (must not be in the past).
-  EventId scheduleAt(SimTime when, EventQueue::Callback cb) {
+  template <typename F>
+  EventId scheduleAt(SimTime when, F&& cb) {
     MESH_REQUIRE(when >= now_);
-    return queue_.push(when, std::move(cb));
+    return queue_.push(when, std::forward<F>(cb));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Bracketing hooks around every run(): `enter` fires before the first
+  // event, `leave` after the loop exits (including stop()/horizon exits).
+  // The harness uses this to install the owning Simulation's PacketPool as
+  // the thread's active pool while — and only while — its events execute,
+  // which is what keeps pools domain-confined under the DomainScheduler's
+  // worker threads.
+  void setRunScope(std::function<void()> enter, std::function<void()> leave) {
+    runEnter_ = std::move(enter);
+    runLeave_ = std::move(leave);
+  }
 
   // Run until the event set drains or the clock would pass `until`.
   // Events scheduled exactly at `until` still fire. Returns the number of
   // events executed.
   std::uint64_t run(SimTime until = SimTime::max()) {
     log::setTimeSource([this] { return now_; });
+    if (runEnter_) runEnter_();
     running_ = true;
     std::uint64_t executed = 0;
     while (running_ && !queue_.empty()) {
-      if (queue_.nextTime() > until) break;
-      auto [time, callback] = queue_.pop();
-      MESH_ASSERT(time >= now_);
-      now_ = time;
-      callback();
+      const bool ran = queue_.runEarliest(until, [this](SimTime time) {
+        MESH_ASSERT(time >= now_);
+        now_ = time;
+      });
+      if (!ran) break;  // earliest event is past the horizon
       ++executed;
     }
     // If we stopped on the horizon, advance the clock to it so that a
@@ -63,6 +78,7 @@ class Simulator {
     if (running_ && now_ < until && until != SimTime::max()) now_ = until;
     running_ = false;
     log::clearTimeSource();
+    if (runLeave_) runLeave_();
     eventsExecuted_ += executed;
     return executed;
   }
@@ -79,6 +95,8 @@ class Simulator {
   SimTime now_{SimTime::zero()};
   bool running_{false};
   std::uint64_t eventsExecuted_{0};
+  std::function<void()> runEnter_;
+  std::function<void()> runLeave_;
 };
 
 }  // namespace mesh::sim

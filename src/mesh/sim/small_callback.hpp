@@ -39,6 +39,26 @@ class SmallCallback {
                 !std::is_same_v<std::decay_t<F>, SmallCallback> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
   SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  // Assign a new callable directly into this object's storage — one
+  // construction of the capture instead of the construct-then-relocate a
+  // temporary SmallCallback would cost. The event queue's push path builds
+  // every hot callback in its slot through this.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+ private:
+  template <typename F>
+  void emplace(F&& f) {
     using Fn = std::decay_t<F>;
     if constexpr (storedInline<F>()) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
@@ -62,6 +82,7 @@ class SmallCallback {
     }
   }
 
+ public:
   SmallCallback(SmallCallback&& o) noexcept
       : invoke_{o.invoke_}, manage_{o.manage_} {
     if (manage_ != nullptr) o.manage_(Op::RelocateTo, o.storage_, storage_);

@@ -41,15 +41,20 @@ class Timer {
   ~Timer() { cancel(); }
 
   // (Re)arm the timer `delay` from now. An already-armed timer is cancelled
-  // first — the timer fires at most once per arm.
-  void start(SimTime delay, Callback cb) {
+  // first — the timer fires at most once per arm. The callable is forwarded
+  // straight into the event slot (no intermediate std::function): captures
+  // up to ~40 bytes — the MAC's Frame-carrying response lambdas — stay on
+  // the scheduler's allocation-free path.
+  template <typename F>
+  void start(SimTime delay, F&& cb) {
     cancel();
     expiry_ = simulator_->now() + (delay.isNegative() ? SimTime::zero() : delay);
-    id_ = simulator_->schedule(delay, [this, cb = std::move(cb)] {
-      id_ = EventId{};  // mark expired before invoking, so isRunning() is
-                        // false inside the callback and restart works
-      cb();
-    });
+    id_ = simulator_->schedule(
+        delay, [this, cb = std::forward<F>(cb)]() mutable {
+          id_ = EventId{};  // mark expired before invoking, so isRunning()
+                            // is false inside the callback and restart works
+          cb();
+        });
   }
 
   void cancel() {

@@ -12,9 +12,9 @@
 // Records buffer in memory as 32-byte PODs; past a threshold they spill to
 // `<path>.spill` so paper-scale runs stay bounded. `exportJsonl()` streams
 // meta line + records + counter totals to a JSONL file and removes the
-// spill. Packet uids (a process-global atomic, nondeterministic under
-// parallel sweeps) are normalized to dense per-trace pids at record time,
-// so the export bytes depend only on the run's seed.
+// spill. Packet uids (per-pool counters, so two domains can emit the same
+// uid) are normalized to dense per-trace pids at record time, so the export
+// bytes depend only on the run's seed.
 
 #include <cstdint>
 #include <cstdio>

@@ -25,6 +25,15 @@
 #include <vector>
 
 #include "mesh/harness/scenario.hpp"
+#include "mesh/mac/mac80211.hpp"
+#include "mesh/net/packet.hpp"
+#include "mesh/net/pool.hpp"
+#include "mesh/odmrp/messages.hpp"
+#include "mesh/phy/channel.hpp"
+#include "mesh/phy/fading.hpp"
+#include "mesh/phy/link_model.hpp"
+#include "mesh/phy/mobility.hpp"
+#include "mesh/phy/propagation.hpp"
 #include "mesh/sim/event_queue.hpp"
 #include "mesh/sim/small_callback.hpp"
 
@@ -47,10 +56,26 @@ void* operator new[](std::size_t size) {
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc{};
 }
+// The nothrow variants must be replaced too: libstdc++'s stable_sort
+// grabs its temporary buffer through new(nothrow), and under ASan a
+// default-operator-new allocation freed by the hook's std::free below
+// reports an alloc-dealloc mismatch.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_newCalls;
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_newCalls;
+  return std::malloc(size);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace mesh {
 namespace {
@@ -181,6 +206,114 @@ TEST(HotPath, OversizedCapturesFallBackToHeap) {
   EXPECT_EQ(out, 1);  // ...and still runs correctly
 }
 
+// ------------------------- steady-state frame round trip (zero alloc)
+
+// Twelve MACs over a geometric channel, all inside one reach disk; node 0
+// sends pooled ODMRP-style data packets (header + 512 B payload serialized
+// straight into the slab) and every receiver's MAC hands the payload up,
+// where the rx callback decodes the DataHeader through the packet's view
+// cache. This is the full tx→MAC→channel→rx→parse round trip of DESIGN
+// §12: after warm-up it must never touch the heap — for the cached-means
+// channel path and for the mobility path (live sampling + periodic
+// reachability refreshes) alike.
+struct RoundTripRig {
+  sim::Simulator simulator;
+  net::PacketPool pool;
+  net::PacketPool* prevPool{nullptr};
+  std::unique_ptr<phy::Channel> channel;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<std::unique_ptr<mac::Mac80211>> macs;
+  std::uint64_t decoded{0};
+  std::uint32_t seq{0};
+
+  explicit RoundTripRig(bool mobile) {
+    prevPool = net::PacketPool::setCurrent(&pool);
+    const std::size_t n = 12;
+    const phy::PhyParams params;
+    std::vector<Vec2> positions;
+    Rng place{21};
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back(
+          {place.uniform(0.0, 300.0), place.uniform(0.0, 300.0)});
+    }
+    std::unique_ptr<phy::LinkModel> model;
+    if (mobile) {
+      phy::RandomWaypointMobility::Params mp;
+      mp.areaWidthM = 300.0;
+      mp.areaHeightM = 300.0;
+      mp.horizon = SimTime::seconds(std::int64_t{120});
+      model = std::make_unique<phy::MobileGeometricLinkModel>(
+          simulator, params,
+          std::make_unique<phy::RandomWaypointMobility>(n, mp, Rng{22}),
+          std::make_unique<phy::TwoRayGroundModel>(),
+          std::make_unique<phy::RayleighFading>());
+    } else {
+      model = std::make_unique<phy::GeometricLinkModel>(
+          params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+          std::make_unique<phy::RayleighFading>());
+    }
+    channel =
+        std::make_unique<phy::Channel>(simulator, std::move(model), Rng{23});
+    if (mobile) channel->enableReachabilityRefresh(200_ms);
+    for (std::size_t i = 0; i < n; ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(
+          simulator, static_cast<net::NodeId>(i), params));
+      channel->attach(*radios.back());
+      macs.push_back(std::make_unique<mac::Mac80211>(
+          simulator, *radios.back(), mac::MacParams{},
+          Rng{24}.fork("mac", i)));
+      macs.back()->setReceiveCallback(
+          [this](const net::PacketPtr& p, net::NodeId) {
+            if (odmrp::DataHeader::decode(*p) != nullptr) ++decoded;
+          });
+    }
+  }
+  ~RoundTripRig() { net::PacketPool::setCurrent(prevPool); }
+
+  void pump(int sends, SimTime gap) {
+    for (int i = 0; i < sends; ++i) {
+      odmrp::DataHeader h;
+      h.group = 1;
+      h.source = 0;
+      h.seq = ++seq;
+      auto p = net::Packet::build(
+          net::PacketKind::Data, 0, odmrp::kDataHeaderBytes + 512,
+          simulator.now(), 0, [&h](net::ByteWriter& w) {
+            h.writeTo(w);
+            w.zeros(512);
+          });
+      // Mostly broadcast (the multicast flood service); every fourth send
+      // is a unicast so ACK frames flow through the pooled path too.
+      const net::NodeId dst =
+          i % 4 == 3 ? net::NodeId{1} : net::kBroadcastNode;
+      macs[0]->send(std::move(p), dst);
+      simulator.run(simulator.now() + gap);  // drain + advance the clock
+    }
+  }
+};
+
+TEST(HotPath, SteadyStateRoundTripAllocatesNothingCachedMeans) {
+  RoundTripRig rig{/*mobile=*/false};
+  rig.pump(64, 100_ms);  // warm-up: slabs, rings, arrival vectors, rows
+  const std::uint64_t before = g_newCalls.load();
+  rig.pump(64, 100_ms);
+  EXPECT_EQ(g_newCalls.load(), before)
+      << "steady-state tx->MAC->channel->rx->parse must not allocate";
+  EXPECT_GT(rig.decoded, 0u);
+}
+
+TEST(HotPath, SteadyStateRoundTripAllocatesNothingUnderMobility) {
+  RoundTripRig rig{/*mobile=*/true};
+  // The warm-up spans many 200 ms reachability refreshes, so row/grid
+  // buffers reach their high-water marks before the measured window.
+  rig.pump(64, 100_ms);
+  const std::uint64_t before = g_newCalls.load();
+  rig.pump(64, 100_ms);
+  EXPECT_EQ(g_newCalls.load(), before)
+      << "mobility refreshes must reuse reachability buffers";
+  EXPECT_GT(rig.decoded, 0u);
+}
+
 // --------------------------------------------- determinism property test
 
 std::string fileBytes(const std::string& path) {
@@ -230,6 +363,39 @@ TEST(HotPath, FiftyNodeOdmrpRunIsByteIdenticalAcrossRuns) {
   EXPECT_TRUE(bytesA == bytesB) << "trace outputs diverged";
   // A real simulation happened (tens of thousands of events minimum).
   EXPECT_GT(a.eventsExecuted, 100000u);
+}
+
+TEST(HotPath, TraceBytesIdenticalWithPoolingDisabled) {
+  // The MESH_PACKET_POOL escape hatch must be invisible: routing slots
+  // through plain operator new/delete cannot change uids, RNG draws, or a
+  // single trace byte. A shorter run than the determinism test keeps the
+  // pinned surface cheap.
+  const std::string dir = ::testing::TempDir();
+  const std::string traceOn = dir + "/hotpath_pool_on.trace.jsonl";
+  const std::string traceOff = dir + "/hotpath_pool_off.trace.jsonl";
+
+  auto scenario = [](const std::string& path) {
+    harness::ScenarioConfig config = fiftyNodeOdmrpScenario(path);
+    config.duration = 20_s;
+    config.traffic.stop = 20_s;
+    return config;
+  };
+
+  harness::Simulation simOn{scenario(traceOn)};
+  const harness::RunResults on = simOn.run();
+  net::PacketPool::setPoolingEnabled(false);
+  harness::Simulation simOff{scenario(traceOff)};
+  const harness::RunResults off = simOff.run();
+  net::PacketPool::setPoolingEnabled(true);
+
+  EXPECT_EQ(on.packetsSent, off.packetsSent);
+  EXPECT_EQ(on.packetsDelivered, off.packetsDelivered);
+  EXPECT_EQ(on.eventsExecuted, off.eventsExecuted);
+  EXPECT_EQ(on.pdr, off.pdr);
+  const std::string bytesOn = fileBytes(traceOn);
+  ASSERT_FALSE(bytesOn.empty());
+  EXPECT_TRUE(bytesOn == fileBytes(traceOff))
+      << "pooling on/off must be byte-identical";
 }
 
 }  // namespace

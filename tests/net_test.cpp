@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "mesh/common/rng.hpp"
 #include "mesh/net/addr.hpp"
 #include "mesh/net/buffer.hpp"
 #include "mesh/net/packet.hpp"
+#include "mesh/net/pool.hpp"
 
 namespace mesh::net {
 namespace {
@@ -125,8 +129,8 @@ TEST(PacketTest, CarriesMetadataAndBytes) {
 }
 
 TEST(PacketTest, UidsAreUnique) {
-  const auto a = Packet::make(PacketKind::Probe, 1, {}, 0_s);
-  const auto b = Packet::make(PacketKind::Probe, 1, {}, 0_s);
+  const auto a = Packet::make(PacketKind::Probe, 1, std::vector<std::uint8_t>{}, 0_s);
+  const auto b = Packet::make(PacketKind::Probe, 1, std::vector<std::uint8_t>{}, 0_s);
   EXPECT_NE(a->uid(), b->uid());
 }
 
@@ -135,6 +139,159 @@ TEST(PacketTest, KindNames) {
   EXPECT_STREQ(toString(PacketKind::Probe), "probe");
   EXPECT_STREQ(toString(PacketKind::Control), "control");
   EXPECT_STREQ(toString(PacketKind::MacControl), "mac-control");
+}
+
+// ------------------------------------------------------------------- pool
+
+TEST(PacketPoolTest, RecyclesSlotsThroughFreeList) {
+  PacketPool pool;
+  PacketPool* prev = PacketPool::setCurrent(&pool);
+  {
+    auto p = Packet::make(PacketKind::Data, 1,
+                          std::vector<std::uint8_t>(512, 0x11), 0_s);
+    EXPECT_GE(pool.stats().liveSlots, 1u);
+  }
+  const std::uint64_t carved = pool.stats().slotsCarved;
+  ASSERT_GT(carved, 0u);
+  // Steady-state churn: every allocation is served from the free list.
+  for (int i = 0; i < 1000; ++i) {
+    auto p = Packet::make(PacketKind::Data, 1,
+                          std::vector<std::uint8_t>(512, 0x11), 0_s);
+  }
+  EXPECT_EQ(pool.stats().slotsCarved, carved);
+  EXPECT_EQ(pool.stats().liveSlots, 0u);
+  PacketPool::setCurrent(prev);
+}
+
+TEST(PacketPoolTest, PerPoolUidSequencesAreIndependent) {
+  PacketPool a, b;
+  PacketPool* prev = PacketPool::setCurrent(&a);
+  const auto a1 = Packet::make(PacketKind::Data, 1, {1}, 0_s);
+  const auto a2 = Packet::make(PacketKind::Data, 1, {2}, 0_s);
+  PacketPool::setCurrent(&b);
+  const auto b1 = Packet::make(PacketKind::Data, 1, {3}, 0_s);
+  PacketPool::setCurrent(prev);
+  // Deterministic per-pool counters: both domains start at 1, so uids only
+  // identify packets within a domain (trace pids are renumbered anyway).
+  EXPECT_EQ(a2->uid(), a1->uid() + 1);
+  EXPECT_EQ(b1->uid(), a1->uid());
+}
+
+TEST(PacketPoolTest, PacketsOutliveTheirPool) {
+  PacketPtr survivor;
+  {
+    PacketPool pool;
+    PacketPool* prev = PacketPool::setCurrent(&pool);
+    survivor = Packet::make(PacketKind::Data, 3, {9, 8, 7}, 1_s);
+    PacketPool::setCurrent(prev);
+  }
+  // The pool handle is gone; its Impl stays alive until the last slot is
+  // released, so the packet remains fully usable.
+  EXPECT_EQ(survivor->bytes()[0], 9);
+  EXPECT_EQ(survivor->origin(), 3);
+  survivor.reset();  // frees the slot and, with it, the orphaned Impl
+}
+
+TEST(PacketPoolTest, OversizedAllocationsBypassTheSlabs) {
+  PacketPool pool;
+  PacketPool* prev = PacketPool::setCurrent(&pool);
+  const auto before = pool.stats().oversized;
+  auto p = Packet::make(PacketKind::Data, 1,
+                        std::vector<std::uint8_t>(8000, 0xEE), 0_s);
+  EXPECT_EQ(pool.stats().oversized, before + 1);
+  EXPECT_EQ(p->sizeBytes(), 8000u);
+  EXPECT_EQ(p->bytes()[7999], 0xEE);
+  PacketPool::setCurrent(prev);
+}
+
+TEST(RefPtrTest, CopyAndMoveDriveTheSlotLifetime) {
+  PacketPool pool;
+  PacketPool* prev = PacketPool::setCurrent(&pool);
+  PacketPtr a = Packet::make(PacketKind::Data, 1, {42}, 0_s);
+  EXPECT_EQ(pool.stats().liveSlots, 1u);
+  PacketPtr b = a;          // copy retains
+  PacketPtr c = std::move(a);  // move transfers, no extra reference
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b, c);
+  b.reset();
+  EXPECT_EQ(pool.stats().liveSlots, 1u);  // c still holds the slot
+  c.reset();
+  EXPECT_EQ(pool.stats().liveSlots, 0u);
+  PacketPool::setCurrent(prev);
+}
+
+// ------------------------------------------------------- decode-once view
+
+TEST(PacketViewTest, ParsesAtMostOncePerPacket) {
+  const auto p = Packet::make(PacketKind::Data, 1, {5, 6, 7}, 0_s);
+  struct Header {
+    std::uint8_t first;
+  };
+  int calls = 0;
+  auto parse = [&calls](std::span<const std::uint8_t> b) {
+    ++calls;
+    return std::optional<Header>{Header{b[0]}};
+  };
+  const Header* v1 = p->view<Header>(parse);
+  const Header* v2 = p->view<Header>(parse);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->first, 5);
+  EXPECT_EQ(v1, v2);  // same cached object
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PacketViewTest, FailedParseIsCachedToo) {
+  const auto p = Packet::make(PacketKind::Data, 1, {0xFF}, 0_s);
+  struct Never {
+    int x;
+  };
+  int calls = 0;
+  auto parse = [&calls](std::span<const std::uint8_t>) {
+    ++calls;
+    return std::optional<Never>{};
+  };
+  EXPECT_EQ(p->view<Never>(parse), nullptr);
+  EXPECT_EQ(p->view<Never>(parse), nullptr);
+  EXPECT_EQ(calls, 1);  // a malformed packet is not re-parsed per receiver
+}
+
+TEST(PacketViewTest, NonTrivialViewsAreDestroyedOnRetag) {
+  // The cache holds one view type at a time (a packet is only ever decoded
+  // as its own message type on the hot path); switching types destroys the
+  // previous view and re-parses.
+  const auto p = Packet::make(PacketKind::Data, 1, {1, 2, 3, 4}, 0_s);
+  struct VecView {
+    std::vector<std::uint8_t> copy;
+  };
+  struct SumView {
+    int sum;
+  };
+  const VecView* v = p->view<VecView>([](std::span<const std::uint8_t> b) {
+    return std::optional<VecView>{
+        VecView{std::vector<std::uint8_t>(b.begin(), b.end())}};
+  });
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->copy.size(), 4u);
+  const SumView* s = p->view<SumView>([](std::span<const std::uint8_t> b) {
+    int sum = 0;
+    for (auto x : b) sum += x;
+    return std::optional<SumView>{SumView{sum}};
+  });
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->sum, 10);
+}
+
+TEST(PacketBuildTest, SerializesExactlyIntoTheSlab) {
+  const auto p = Packet::build(PacketKind::Control, 4, 6, 2_s, 0,
+                               [](ByteWriter& w) {
+                                 w.u16(0xBEEF);
+                                 w.u32(0xDEADBEEF);
+                               });
+  EXPECT_EQ(p->sizeBytes(), 6u);
+  ByteReader r{p->bytes()};
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_TRUE(r.atEnd());
 }
 
 TEST(LinkKeyTest, HashAndEquality) {
