@@ -10,9 +10,12 @@
 // Flags: --no-fading runs the ablation with Rayleigh disabled (link
 // quality becomes binary-by-distance; the metrics' advantage collapses,
 // demonstrating that fading-induced lossy long links are what the metrics
-// exploit — Section 4.2.1's explanation). --jobs/--jsonl as in
-// bench_common.hpp.
+// exploit — Section 4.2.1's explanation). --gateways reruns the figure on
+// a two-channel mesh whose groups span both collision domains, bridged by
+// boundary gateways (DESIGN §13) — the metric ranking must survive the
+// handoff path. --jobs/--jsonl as in bench_common.hpp.
 
+#include <cmath>
 #include <cstring>
 
 #include "bench_common.hpp"
@@ -22,8 +25,10 @@ int main(int argc, char** argv) {
   using namespace mesh::bench;
 
   bool rayleigh = true;
+  bool gateways = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-fading") == 0) rayleigh = false;
+    if (std::strcmp(argv[i], "--gateways") == 0) gateways = true;
   }
 
   const harness::BenchOptions options =
@@ -31,17 +36,31 @@ int main(int argc, char** argv) {
 
   const auto rows = harness::runProtocolComparison(
       harness::figure2Protocols(),
-      [rayleigh](std::uint64_t seed) {
-        return simulationScenario(seed, 1, rayleigh);
+      [rayleigh, gateways](std::uint64_t seed) {
+        harness::ScenarioConfig config = simulationScenario(seed, 1, rayleigh);
+        if (gateways) {
+          // Split the mesh into two collision domains at the paper's
+          // per-domain density; makeRandomGroups draws over the whole id
+          // space, so every group straddles the Static (id mod 2) split
+          // and its traffic rides the gateway relay.
+          config.channels = 2;
+          config.domainWorkers = 2;
+          config.areaWidthM /= std::sqrt(2.0);
+          config.areaHeightM /= std::sqrt(2.0);
+          config.gateways = 6;
+          config.gatewaySelect = gateway::GatewaySelect::Boundary;
+        }
+        return config;
       },
       options);
 
   harness::printNormalizedThroughput(
-      rayleigh ? "Figure 2 — Throughput-simulations (normalized to ODMRP)"
-               : "Figure 2 ablation — no Rayleigh fading",
+      gateways ? "Figure 2 extension — domain-spanning groups over gateways"
+      : rayleigh ? "Figure 2 — Throughput-simulations (normalized to ODMRP)"
+                 : "Figure 2 ablation — no Rayleigh fading",
       rows);
   harness::printAbsolute("absolute values", rows);
-  if (rayleigh) {
+  if (rayleigh && !gateways) {
     printPaperReference("Figure 2, Throughput-simulations",
                         "ETT +13.5%  ETX +14.5%  METX +16%  PP +18%  SPP +18%");
   }

@@ -11,6 +11,7 @@
 
 #include "mesh/channelplan/channel_plan.hpp"
 #include "mesh/common/rng.hpp"
+#include "mesh/gateway/gateway_relay.hpp"
 #include "mesh/harness/scenario.hpp"
 #include "mesh/mac/frames.hpp"
 #include "mesh/mac/mac80211.hpp"
@@ -538,6 +539,68 @@ void BM_ScaleTopologyBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ScaleTopologyBuild)->Arg(2000)->Arg(5000);
+
+// The cross-domain handoff path (DESIGN §13): stage one epoch's worth of
+// outbound broadcasts at a gateway, then drain the barrier — merge-sort
+// the lanes, rebuild every frame into the destination domain's pool, hand
+// it to the port MAC, and drain the foreign domain's transmission. This
+// is the per-frame cost a spanning multicast group pays on top of the
+// intra-domain forwarding that BM_PacketRoundTrip tracks.
+void BM_GatewayHandoff(benchmark::State& state) {
+  const std::size_t domains = 2;
+  phy::PhyParams params;
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::vector<std::unique_ptr<phy::Channel>> channels;
+  std::vector<std::unique_ptr<net::PacketPool>> pools;
+  std::vector<std::vector<std::unique_ptr<phy::Radio>>> radios(domains);
+  // One position per node id across both domains (the link model indexes
+  // positions by id, like the harness' shared node roster).
+  Rng place{21};
+  std::vector<Vec2> positions;
+  for (std::size_t i = 0; i < domains * 10; ++i) {
+    positions.push_back({place.uniform(0.0, 400.0), place.uniform(0.0, 400.0)});
+  }
+  for (std::size_t d = 0; d < domains; ++d) {
+    sims.push_back(std::make_unique<sim::Simulator>());
+    pools.push_back(std::make_unique<net::PacketPool>());
+    auto model = std::make_unique<phy::GeometricLinkModel>(
+        params, positions, std::make_unique<phy::TwoRayGroundModel>(),
+        std::make_unique<phy::RayleighFading>());
+    channels.push_back(std::make_unique<phy::Channel>(
+        *sims[d], std::move(model), Rng{22}.fork("channel", d)));
+    // Disjoint id ranges per domain, as a channel plan would assign them —
+    // the port radio reuses the gateway's id on the foreign channel.
+    for (int i = 0; i < 10; ++i) {
+      radios[d].push_back(std::make_unique<phy::Radio>(
+          *sims[d], static_cast<net::NodeId>(d * 10 + i), params));
+      channels[d]->attach(*radios[d].back());
+    }
+  }
+  std::vector<gateway::GatewayRelay::DomainContext> contexts;
+  for (std::size_t d = 0; d < domains; ++d) {
+    contexts.push_back(gateway::GatewayRelay::DomainContext{
+        sims[d].get(), channels[d].get(), pools[d].get(), nullptr});
+  }
+  gateway::GatewayRelay relay{std::move(contexts)};
+  std::uint64_t inbound = 0;
+  const std::size_t gw = relay.addGateway(
+      0, /*home=*/0, params, mac::MacParams{}, Rng{23},
+      [&inbound](const net::PacketPtr&, net::NodeId) { ++inbound; });
+
+  net::PacketPool* prev = net::PacketPool::setCurrent(pools[0].get());
+  auto packet = net::Packet::make(net::PacketKind::Data, 0,
+                                  std::vector<std::uint8_t>(540, 0), 0_s);
+  net::PacketPool::setCurrent(prev);
+  constexpr int kPerEpoch = 32;
+  for (auto _ : state) {
+    for (int i = 0; i < kPerEpoch; ++i) relay.captureOutbound(gw, packet);
+    relay.drainAtBarrier();
+    for (auto& sim : sims) sim->run();  // drain the foreign transmissions
+  }
+  benchmark::DoNotOptimize(inbound);
+  state.SetItemsProcessed(state.iterations() * kPerEpoch);
+}
+BENCHMARK(BM_GatewayHandoff);
 
 // Carrier-sense query cost with N concurrent arrivals: the MAC polls
 // mediumBusy() far more often than the arrival set changes, so this must

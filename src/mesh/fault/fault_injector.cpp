@@ -32,7 +32,9 @@ void FaultInjector::arm() {
 
 void FaultInjector::traceFault(trace::EventType type,
                                const FaultEvent& event) {
-  if (trace_ == nullptr) return;
+  // Foreign-domain copies of a multi-radio fault apply silently — only the
+  // victim's home-domain injector records the timeline (FaultEvent::traced).
+  if (trace_ == nullptr || !event.traced) return;
   trace_->faultEvent(simulator_.now(), type, event.kind, event.node,
                      event.peer, event.lossRate, event.powerDbm);
 }
@@ -74,6 +76,10 @@ void FaultInjector::apply(const FaultEvent& event) {
       ++stats_.blackholes;
       if (blackhole_) blackhole_(event.node, true);
       break;
+    case trace::FaultKind::MacQueueDrop:
+      ++stats_.queueDrops;
+      if (queueDrop_) queueDrop_(event.node, true);
+      break;
   }
   traceFault(trace::EventType::FaultInject, event);
 }
@@ -109,6 +115,9 @@ void FaultInjector::clear(const FaultEvent& event) {
       break;
     case trace::FaultKind::ProbeBlackhole:
       if (blackhole_) blackhole_(event.node, false);
+      break;
+    case trace::FaultKind::MacQueueDrop:
+      if (queueDrop_) queueDrop_(event.node, false);
       break;
   }
   traceFault(trace::EventType::FaultClear, event);

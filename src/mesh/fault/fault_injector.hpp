@@ -29,6 +29,7 @@ struct FaultInjectorStats {
   std::uint64_t lossRamps{0};
   std::uint64_t bursts{0};
   std::uint64_t blackholes{0};
+  std::uint64_t queueDrops{0};  // MacQueueDrop applications
 };
 
 class FaultInjector {
@@ -37,6 +38,9 @@ class FaultInjector {
   // harness wires this to MeshNode::setProbeBlackhole. Unset: blackholes
   // are counted but have no effect (pure-PHY rigs).
   using BlackholeHook = std::function<void(net::NodeId, bool)>;
+  // Same shape for MacQueueDrop faults; the harness wires it to
+  // MeshNode::setQueueDropFault (which forwards to the MAC).
+  using QueueDropHook = std::function<void(net::NodeId, bool)>;
 
   FaultInjector(sim::Simulator& simulator, phy::Channel& channel,
                 FaultSchedule schedule);
@@ -46,6 +50,7 @@ class FaultInjector {
 
   void setTrace(trace::TraceCollector* collector) { trace_ = collector; }
   void setBlackholeHook(BlackholeHook hook) { blackhole_ = std::move(hook); }
+  void setQueueDropHook(QueueDropHook hook) { queueDrop_ = std::move(hook); }
 
   // Schedules apply/clear callbacks for every event in the schedule. Call
   // once, before the run; events already in the past are rejected.
@@ -70,6 +75,7 @@ class FaultInjector {
   FaultSchedule schedule_;
   trace::TraceCollector* trace_{nullptr};
   BlackholeHook blackhole_;
+  QueueDropHook queueDrop_;
   bool armed_{false};
   FaultInjectorStats stats_;
 };

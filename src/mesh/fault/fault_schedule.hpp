@@ -25,6 +25,7 @@ namespace mesh::fault {
 //   LossRamp           node--peer loss ramps up to `lossRate` across window
 //   InterferenceBurst  `powerDbm` of undecodable in-band noise at `node`
 //   ProbeBlackhole     `node` silently eats incoming probes for the window
+//   MacQueueDrop       `node`'s MAC swallows every payload at enqueue
 // duration == 0 means permanent (never cleared); bursts require a window.
 struct FaultEvent {
   trace::FaultKind kind{trace::FaultKind::NodeCrash};
@@ -34,6 +35,11 @@ struct FaultEvent {
   SimTime duration{SimTime::zero()};
   double lossRate{1.0};    // LossRamp target
   double powerDbm{-55.0};  // InterferenceBurst strength at the victim
+  // Multi-channel scoping: a gateway has a radio in several domains, so
+  // one configured fault becomes one scoped copy per domain. Only the copy
+  // in the victim's home domain records FaultInject/FaultClear — the
+  // others set traced=false so the merged trace carries each fault once.
+  bool traced{true};
 };
 
 // Seed-defined churn: expected events per minute across the whole network,

@@ -1,0 +1,140 @@
+#include "mesh/gateway/gateway_set.hpp"
+
+#include <algorithm>
+
+#include "mesh/common/assert.hpp"
+#include "mesh/phy/spatial_grid.hpp"
+
+namespace mesh::gateway {
+namespace {
+
+constexpr const char* kSelectNames[] = {"every-k", "boundary", "explicit"};
+constexpr std::size_t kSelectCount =
+    sizeof(kSelectNames) / sizeof(kSelectNames[0]);
+
+GatewaySet selectEveryK(std::size_t count, std::size_t nodeCount) {
+  GatewaySet set;
+  set.select = GatewaySelect::EveryK;
+  if (nodeCount == 0) return set;
+  if (count > nodeCount) count = nodeCount;
+  for (std::size_t i = 0; i < count; ++i) {
+    set.nodes.push_back(static_cast<net::NodeId>(i * nodeCount / count));
+  }
+  // floor(i·n/g) is strictly increasing for g <= n, so the ids are already
+  // ascending and distinct.
+  return set;
+}
+
+GatewaySet selectBoundary(std::size_t count,
+                          const channelplan::ChannelPlan& plan,
+                          const std::vector<Vec2>& positions, double radiusM) {
+  GatewaySet set;
+  set.select = GatewaySelect::Boundary;
+  const std::size_t n = positions.size();
+  if (n == 0 || count == 0) return set;
+  if (count > n) count = n;
+
+  // One pass over the grid: for every node, the set of boundary pairs
+  // (homeDomain, foreignDomain) it could bridge, encoded as
+  // min·256 + max, plus its raw cross-domain neighbor count. The grid is a
+  // superset filter; the exact distance test keeps the result identical to
+  // the O(n²) scan.
+  phy::SpatialGrid grid;
+  grid.build(positions, radiusM);
+  std::vector<std::vector<std::uint32_t>> pairsOf(n);
+  std::vector<std::uint32_t> crossNeighbors(n, 0);
+  std::vector<std::uint32_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t home = plan.channelOf(static_cast<net::NodeId>(i));
+    candidates.clear();
+    grid.candidatesWithin(positions[i], radiusM, candidates);
+    auto& pairs = pairsOf[i];
+    for (const std::uint32_t j : candidates) {
+      if (j == i) continue;
+      const std::size_t other = plan.channelOf(static_cast<net::NodeId>(j));
+      if (other == home) continue;
+      if (positions[i].distanceSquaredTo(positions[j]) > radiusM * radiusM) {
+        continue;
+      }
+      ++crossNeighbors[i];
+      const std::size_t lo = home < other ? home : other;
+      const std::size_t hi = home < other ? other : home;
+      pairs.push_back(static_cast<std::uint32_t>(lo * 256 + hi));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  }
+
+  // Greedy cover: each round picks the node bridging the most not-yet
+  // covered boundary pairs (ties: more cross-domain neighbors, then lowest
+  // id). Once every reachable pair is covered the tie-breaks alone rank
+  // the remaining picks, spreading extra gateways onto the busiest
+  // boundaries.
+  std::vector<bool> chosen(n, false);
+  std::vector<bool> covered(256 * 256, false);
+  for (std::size_t round = 0; round < count; ++round) {
+    std::size_t best = n;
+    std::size_t bestGain = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      std::size_t gain = 0;
+      for (const std::uint32_t p : pairsOf[i]) {
+        if (!covered[p]) ++gain;
+      }
+      if (best == n || gain > bestGain ||
+          (gain == bestGain && crossNeighbors[i] > crossNeighbors[best])) {
+        best = i;
+        bestGain = gain;
+      }
+    }
+    if (best == n) break;
+    chosen[best] = true;
+    for (const std::uint32_t p : pairsOf[best]) covered[p] = true;
+    set.nodes.push_back(static_cast<net::NodeId>(best));
+  }
+  std::sort(set.nodes.begin(), set.nodes.end());
+  return set;
+}
+
+}  // namespace
+
+const char* toString(GatewaySelect select) {
+  const auto index = static_cast<std::size_t>(select);
+  return index < kSelectCount ? kSelectNames[index] : "invalid";
+}
+
+bool gatewaySelectFromString(const std::string& text, GatewaySelect& out) {
+  for (std::size_t i = 0; i < kSelectCount; ++i) {
+    if (text == kSelectNames[i]) {
+      out = static_cast<GatewaySelect>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+GatewaySet makeGatewaySet(GatewaySelect select, std::size_t count,
+                          const std::vector<net::NodeId>& explicitNodes,
+                          const channelplan::ChannelPlan& plan,
+                          const std::vector<Vec2>& positions, double radiusM) {
+  MESH_REQUIRE(plan.channels < 256);  // boundary pair encoding caps domains
+  switch (select) {
+    case GatewaySelect::Explicit: {
+      GatewaySet set;
+      set.select = GatewaySelect::Explicit;
+      set.nodes = explicitNodes;
+      std::sort(set.nodes.begin(), set.nodes.end());
+      set.nodes.erase(std::unique(set.nodes.begin(), set.nodes.end()),
+                      set.nodes.end());
+      return set;
+    }
+    case GatewaySelect::EveryK:
+      return selectEveryK(count, positions.size());
+    case GatewaySelect::Boundary:
+      return selectBoundary(count, plan, positions, radiusM);
+  }
+  MESH_ASSERT(false);
+  return {};
+}
+
+}  // namespace mesh::gateway

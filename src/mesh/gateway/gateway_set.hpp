@@ -1,0 +1,52 @@
+#pragma once
+// GatewaySet: which nodes bridge collision domains, and how they are chosen.
+//
+// PR 7's channel plan partitions the PHY into orthogonal collision domains,
+// which makes multicast groups channel-local: a JOIN QUERY flooded on
+// channel 0 never reaches a member on channel 1. A gateway is a node with
+// one radio per channel — its home stack lives in its plan-assigned domain
+// and an extra Radio+Mac pair per foreign domain gives it a presence in
+// every channel (see gateway_relay.hpp for the handoff protocol).
+//
+// Selection is pluggable and, like the channel plan itself, strictly
+// RNG-free: the set must be a pure function of (plan, positions, config) so
+// gateway runs stay byte-identical across worker counts and job shardings.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/channelplan/channel_plan.hpp"
+#include "mesh/common/vec2.hpp"
+#include "mesh/net/addr.hpp"
+
+namespace mesh::gateway {
+
+enum class GatewaySelect : std::uint8_t {
+  EveryK = 0,    // ids floor(i·n/g): even striping over the id space
+  Boundary = 1,  // greedy domain-boundary cover over the spatial grid
+  Explicit = 2,  // caller-provided node list (gateway_nodes config key)
+};
+
+const char* toString(GatewaySelect select);
+// Returns false when `text` names no known strategy.
+bool gatewaySelectFromString(const std::string& text, GatewaySelect& out);
+
+struct GatewaySet {
+  GatewaySelect select{GatewaySelect::EveryK};
+  std::vector<net::NodeId> nodes;  // ascending, deduplicated
+};
+
+// Builds the gateway set. `count` is the requested number of gateways
+// (ignored for Explicit, where `explicitNodes` is the set verbatim).
+// Boundary scores each node by the set of distinct (domainA, domainB)
+// boundary pairs it can bridge — nodes of OTHER domains within `radiusM` —
+// and greedily picks cover-maximizing nodes (ties: more cross-domain
+// neighbors, then lowest id), so gateways land where domains actually meet
+// instead of striping blindly over the id space.
+GatewaySet makeGatewaySet(GatewaySelect select, std::size_t count,
+                          const std::vector<net::NodeId>& explicitNodes,
+                          const channelplan::ChannelPlan& plan,
+                          const std::vector<Vec2>& positions, double radiusM);
+
+}  // namespace mesh::gateway

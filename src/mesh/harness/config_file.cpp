@@ -118,6 +118,16 @@ class Parser {
         return {std::nullopt, "config error: fault node id out of range"};
       }
     }
+    for (const net::NodeId id : config.gatewayNodes) {
+      if (id >= config.nodeCount) {
+        return {std::nullopt, "config error: gateway node id out of range"};
+      }
+    }
+    for (const net::NodeId id : config.churnVictims) {
+      if (id >= config.nodeCount) {
+        return {std::nullopt, "config error: churn victim id out of range"};
+      }
+    }
     return {std::move(config), {}};
   }
 
@@ -247,6 +257,32 @@ class Parser {
       config.domainWorkers = static_cast<std::size_t>(*n);
       return {};
     }
+    if (key == "gateways") {
+      const auto n = number(value);
+      if (!n || *n < 0) return "gateways must be a non-negative count";
+      config.gateways = static_cast<std::size_t>(*n);
+      return {};
+    }
+    if (key == "gateway_select") {
+      const std::string s = lower(value);
+      if (!gateway::gatewaySelectFromString(s, config.gatewaySelect)) {
+        return "gateway_select must be every-k, boundary, or explicit";
+      }
+      return {};
+    }
+    if (key == "gateway_nodes") {
+      const auto ids = idList(value);
+      if (!ids || ids->empty()) return "gateway_nodes must be a list of node ids";
+      config.gatewayNodes = *ids;
+      return {};
+    }
+    if (key == "switch_slot_ms") {
+      const auto n = number(value);
+      if (!n || *n <= 0) return "switch_slot_ms must be positive";
+      config.switchSlot = SimTime::milliseconds(static_cast<std::int64_t>(*n));
+      if (config.switchSlot.isZero()) return "switch_slot_ms must be >= 1";
+      return {};
+    }
     if (key == "placement") {
       const std::string p = lower(value);
       if (p == "uniform") config.placement = Placement::UniformRejection;
@@ -335,11 +371,13 @@ class Parser {
   //   event = loss <a>-<b> <rate> @ <start_s> [+<dur_s>]
   //   event = burst <node> <dbm> @ <start_s> +<dur_s>
   //   event = blackhole <node> @ <start_s> [+<dur_s>]
+  //   event = queue_drop <node> @ <start_s> [+<dur_s>]
   //
   // plus seed-defined churn (merged with the explicit events at build):
   //
   //   crashes_per_minute / blackouts_per_minute / bursts_per_minute
   //   mean_outage_s, mean_burst_s, burst_power_dbm, warmup_s
+  //   churn_victims = <id list>   (explicit victim roster override)
 
   static std::vector<std::string_view> splitTokens(std::string_view v) {
     std::vector<std::string_view> out;
@@ -371,7 +409,7 @@ class Parser {
     const std::string kindWord = lower(toks[0]);
     if (!trace::faultKindFromString(kindWord.c_str(), event.kind)) {
       return "unknown fault kind '" + kindWord +
-             "' (crash/blackout/loss/burst/blackhole)";
+             "' (crash/blackout/loss/burst/blackhole/queue_drop)";
     }
 
     std::size_t i = 1;
@@ -400,6 +438,7 @@ class Parser {
     switch (event.kind) {
       case trace::FaultKind::NodeCrash:
       case trace::FaultKind::ProbeBlackhole:
+      case trace::FaultKind::MacQueueDrop:
         error = takeNode();
         break;
       case trace::FaultKind::LinkBlackout:
@@ -495,6 +534,14 @@ class Parser {
       const auto n = number(value);
       if (!n || *n < 0) return "warmup_s must be non-negative";
       churnOf(config).warmup = SimTime::seconds(*n);
+      return {};
+    }
+    if (key == "churn_victims") {
+      const auto ids = idList(value);
+      if (!ids || ids->empty()) {
+        return "churn_victims must be a list of node ids";
+      }
+      config.churnVictims = *ids;
       return {};
     }
     return "unknown [faults] key '" + key + "'";

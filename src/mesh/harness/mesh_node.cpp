@@ -34,6 +34,7 @@ MeshNode::MeshNode(sim::Simulator& simulator, phy::Channel& channel,
                  : probeConfigFor(metric).lossWindow},
       sink_{simulator} {
   const auto send = [this](net::PacketPtr packet) {
+    if (gatewayTap_) gatewayTap_(packet);
     mac_.send(std::move(packet), net::kBroadcastNode);
   };
   const metrics::NeighborTable* neighbors = metric != nullptr ? &table_ : nullptr;
@@ -90,6 +91,7 @@ MeshNode::MeshNode(sim::Simulator& simulator, phy::Channel& channel,
   probes_ = std::make_unique<metrics::ProbeService>(
       simulator, id, probeConfigFor(metric), config.probeRateScale, table_,
       [this](net::PacketPtr packet) {
+        if (gatewayTap_) gatewayTap_(packet);
         mac_.send(std::move(packet), net::kBroadcastNode);
       },
       rng.fork("probes"), config.adaptiveProbing,

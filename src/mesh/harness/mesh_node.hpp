@@ -90,6 +90,26 @@ class MeshNode {
   void setProbeBlackhole(bool active) { probeBlackhole_ = active; }
   bool probeBlackhole() const { return probeBlackhole_; }
 
+  // Fault injection (MacQueueDrop): the MAC silently swallows every
+  // outgoing payload at the queue entry while active.
+  void setQueueDropFault(bool active) { mac_.setQueueDropFault(active); }
+
+  // --- gateway support ------------------------------------------------
+  // Observes every outbound broadcast (probes, control floods, data
+  // forwards) before the MAC sees it. The gateway relay stages the packet
+  // for re-emission on the node's foreign-domain ports. Null by default —
+  // non-gateway nodes pay one branch per send.
+  using GatewayTap = std::function<void(const net::PacketPtr&)>;
+  void setGatewayTap(GatewayTap tap) { gatewayTap_ = std::move(tap); }
+
+  // Entry point for frames the relay carried in from a foreign domain:
+  // exactly the MAC-delivery dispatch, so probes feed the neighbor table
+  // and control/data feed the protocol as if received locally. `from` is
+  // the foreign-domain transmitter.
+  void injectFromGateway(const net::PacketPtr& packet, net::NodeId from) {
+    dispatch(packet, from);
+  }
+
   // --- access ---------------------------------------------------------
   phy::Radio& radio() { return radio_; }
   mac::Mac80211& mac() { return mac_; }
@@ -127,6 +147,7 @@ class MeshNode {
   std::unique_ptr<app::CbrSource> cbr_;
   NodeByteCounters bytes_;
   bool probeBlackhole_{false};
+  GatewayTap gatewayTap_;
 };
 
 }  // namespace mesh::harness

@@ -248,6 +248,19 @@ void Simulation::build() {
       std::fprintf(stderr, "MESH_DOMAIN_WORKERS=%s ignored (want >= 1)\n", env);
     }
   }
+  // MESH_GATEWAYS: gateway-count escape hatch (0 disables the relay even
+  // when the config asks for gateways).
+  if (const char* env = std::getenv("MESH_GATEWAYS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      config_.gateways = static_cast<std::size_t>(v);
+      if (v == 0) config_.gatewayNodes.clear();
+    } else {
+      std::fprintf(stderr, "MESH_GATEWAYS=%s ignored (want a count)\n", env);
+    }
+  }
 
   if (config_.channels > 1 || config_.forceChannelPlan) {
     buildMultiChannel(rng);
@@ -359,15 +372,22 @@ void Simulation::build() {
   // armed against the fully built simulation.
   fault::FaultSchedule schedule = config_.faults;
   if (config_.churn) {
-    // Churn victims: every node that is neither a source nor a member.
-    std::vector<bool> excluded(config_.nodeCount, false);
-    for (const GroupSpec& spec : config_.groups) {
-      for (const net::NodeId s : spec.sources) excluded.at(s) = true;
-      for (const net::NodeId m : spec.members) excluded.at(m) = true;
-    }
     std::vector<net::NodeId> eligible;
-    for (std::size_t i = 0; i < config_.nodeCount; ++i) {
-      if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+    if (!config_.churnVictims.empty()) {
+      // Explicit victim roster (the on-route churn figure crashes actual
+      // forwarding-group members discovered in a pilot run).
+      eligible = config_.churnVictims;
+    } else {
+      // Default churn victims: every node that is neither a source nor a
+      // member.
+      std::vector<bool> excluded(config_.nodeCount, false);
+      for (const GroupSpec& spec : config_.groups) {
+        for (const net::NodeId s : spec.sources) excluded.at(s) = true;
+        for (const net::NodeId m : spec.members) excluded.at(m) = true;
+      }
+      for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+        if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+      }
     }
     const fault::FaultSchedule generated = fault::FaultSchedule::generate(
         *config_.churn, config_.duration, eligible, rng.fork("faults"));
@@ -381,6 +401,9 @@ void Simulation::build() {
     injector_->setTrace(trace_.get());
     injector_->setBlackholeHook([this](net::NodeId node, bool active) {
       nodes_.at(node)->setProbeBlackhole(active);
+    });
+    injector_->setQueueDropHook([this](net::NodeId node, bool active) {
+      nodes_.at(node)->setQueueDropFault(active);
     });
     injector_->arm();
 
@@ -507,20 +530,69 @@ void Simulation::buildMultiChannel(Rng& rng) {
 
   for (auto& node : nodes_) node->start();
 
+  // Cross-domain gateways: the roster is deterministic (RNG-free given the
+  // plan and positions), then the relay wires one port Radio + MAC per
+  // foreign domain onto each gateway and the node's outbound broadcasts
+  // are tapped for staging. gateways == 0 builds none of this — the
+  // multi-channel path stays byte-identical to the gateway-less simulator.
+  if (domains > 1 && (config_.gateways > 0 || !config_.gatewayNodes.empty())) {
+    gateway::GatewaySelect select = config_.gatewaySelect;
+    if (!config_.gatewayNodes.empty()) {
+      select = gateway::GatewaySelect::Explicit;
+    }
+    // 250 m: the same nominal reception range the channel plan scores
+    // boundary candidates against.
+    gatewaySet_ = gateway::makeGatewaySet(select, config_.gateways,
+                                          config_.gatewayNodes, plan_,
+                                          positions_, 250.0);
+    std::vector<gateway::GatewayRelay::DomainContext> contexts;
+    contexts.reserve(domains);
+    for (std::size_t d = 0; d < domains; ++d) {
+      contexts.push_back(gateway::GatewayRelay::DomainContext{
+          domainSims_[d].get(), channels_[d].get(), pools_[d].get(),
+          domainTraces_.empty() ? nullptr : domainTraces_[d].get()});
+    }
+    relay_ = std::make_unique<gateway::GatewayRelay>(std::move(contexts));
+    for (const net::NodeId g : gatewaySet_.nodes) {
+      MESH_REQUIRE(static_cast<std::size_t>(g) < nodes_.size());
+      const std::size_t idx = relay_->addGateway(
+          g, plan_.channelOf(g), config_.node.phy, config_.node.mac,
+          rng.fork("gwport", g),
+          [this, g](const net::PacketPtr& packet, net::NodeId from) {
+            nodes_.at(g)->injectFromGateway(packet, from);
+          });
+      nodes_.at(g)->setGatewayTap([this, idx](const net::PacketPtr& packet) {
+        relay_->captureOutbound(idx, packet);
+      });
+    }
+    // Port radios transmit on their channel like any node radio, so their
+    // counters join both registries — otherwise the per-channel frame
+    // counts disagree with the channel-tagged trace records.
+    const bool rateAware = config_.rateControl != rate::ControlKind::Fixed;
+    for (std::size_t d = 0; d < domains; ++d) {
+      relay_->registerPortCounters(d, registry_, rateAware);
+      relay_->registerPortCounters(d, *domainRegistries_[d], rateAware);
+    }
+  }
+
   // Faults: churn is generated globally with the legacy fork/draws, then
   // the merged schedule is scoped per domain so each injector only ever
   // touches its own domain's simulator, channel and nodes (the invariant
   // the parallel scheduler relies on).
   fault::FaultSchedule schedule = config_.faults;
   if (config_.churn) {
-    std::vector<bool> excluded(config_.nodeCount, false);
-    for (const GroupSpec& spec : config_.groups) {
-      for (const net::NodeId s : spec.sources) excluded.at(s) = true;
-      for (const net::NodeId m : spec.members) excluded.at(m) = true;
-    }
     std::vector<net::NodeId> eligible;
-    for (std::size_t i = 0; i < config_.nodeCount; ++i) {
-      if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+    if (!config_.churnVictims.empty()) {
+      eligible = config_.churnVictims;
+    } else {
+      std::vector<bool> excluded(config_.nodeCount, false);
+      for (const GroupSpec& spec : config_.groups) {
+        for (const net::NodeId s : spec.sources) excluded.at(s) = true;
+        for (const net::NodeId m : spec.members) excluded.at(m) = true;
+      }
+      for (std::size_t i = 0; i < config_.nodeCount; ++i) {
+        if (!excluded[i]) eligible.push_back(static_cast<net::NodeId>(i));
+      }
     }
     const fault::FaultSchedule generated = fault::FaultSchedule::generate(
         *config_.churn, config_.duration, eligible, rng.fork("faults"));
@@ -529,19 +601,46 @@ void Simulation::buildMultiChannel(Rng& rng) {
     }
   }
   if (!schedule.empty()) {
+    // A gateway owns a radio in every domain, so radio-level faults
+    // (crash, blackout, loss ramp, interference) scope to each domain
+    // where the victim — and for link faults the peer too — has a radio:
+    // crashing a gateway takes down its home stack and every port.
+    // Node-level faults (probe blackhole, MAC queue drop) act on the
+    // node's single protocol stack and stay home-domain-only, which also
+    // keeps their hooks inside the home domain's worker thread. Exactly
+    // one scoped copy per configured fault keeps traced=true, so the
+    // merged trace carries each fault timeline once.
+    std::vector<bool> isGateway(config_.nodeCount, false);
+    for (const net::NodeId g : gatewaySet_.nodes) isGateway.at(g) = true;
+    const auto hasRadioIn = [&](net::NodeId node, std::size_t d) {
+      return plan_.channelOf(node) == d || isGateway.at(node);
+    };
     domainInjectors_.resize(domains);
     domainRecovery_.resize(domains);
+    std::vector<bool> tracedCopyEmitted(schedule.size(), false);
     for (std::size_t d = 0; d < domains; ++d) {
       std::vector<fault::FaultEvent> scoped;
-      for (const fault::FaultEvent& event : schedule.events()) {
-        if (plan_.channelOf(event.node) != d) continue;
-        // A cross-domain link fault targets a link that cannot exist (its
-        // endpoints never hear each other), so it is dropped.
-        if (event.peer != net::kInvalidNode &&
-            plan_.channelOf(event.peer) != d) {
-          continue;
+      for (std::size_t e = 0; e < schedule.events().size(); ++e) {
+        const fault::FaultEvent& event = schedule.events()[e];
+        const bool nodeLevel =
+            event.kind == trace::FaultKind::ProbeBlackhole ||
+            event.kind == trace::FaultKind::MacQueueDrop;
+        if (nodeLevel) {
+          if (plan_.channelOf(event.node) != d) continue;
+        } else {
+          if (!hasRadioIn(event.node, d)) continue;
+          // A link fault needs both endpoints in this domain; a pair with
+          // no shared domain names a link that cannot exist, so that copy
+          // is dropped.
+          if (event.peer != net::kInvalidNode &&
+              !hasRadioIn(event.peer, d)) {
+            continue;
+          }
         }
-        scoped.push_back(event);
+        fault::FaultEvent copy = event;
+        copy.traced = !tracedCopyEmitted[e];
+        tracedCopyEmitted[e] = true;
+        scoped.push_back(copy);
       }
       if (scoped.empty()) continue;
       domainInjectors_[d] = std::make_unique<fault::FaultInjector>(
@@ -550,11 +649,15 @@ void Simulation::buildMultiChannel(Rng& rng) {
       if (!domainTraces_.empty()) {
         domainInjectors_[d]->setTrace(domainTraces_[d].get());
       }
-      // Scoped schedules only name same-domain victims, so the hook stays
-      // inside this domain's worker thread.
+      // Node-level victims are always same-domain (see scoping above), so
+      // these hooks stay inside this domain's worker thread.
       domainInjectors_[d]->setBlackholeHook([this](net::NodeId node,
                                                    bool active) {
         nodes_.at(node)->setProbeBlackhole(active);
+      });
+      domainInjectors_[d]->setQueueDropHook([this](net::NodeId node,
+                                                   bool active) {
+        nodes_.at(node)->setQueueDropFault(active);
       });
       domainInjectors_[d]->arm();
 
@@ -682,7 +785,23 @@ RunResults Simulation::runMultiChannel() {
   channelplan::DomainScheduler scheduler{std::move(domains),
                                          config_.domainWorkers};
   // Same drain window as the single-channel path.
-  scheduler.run(config_.duration + SimTime::seconds(std::int64_t{1}));
+  const SimTime horizon = config_.duration + SimTime::seconds(std::int64_t{1});
+  if (relay_ != nullptr) {
+    // Switch slots: one epoch barrier every switchSlot, plus a final one
+    // at the horizon so the last partial slot still drains. Barriers run
+    // alone on the caller's thread with every domain clock stopped exactly
+    // at the barrier time — the property that makes the handoff order
+    // independent of the worker count.
+    MESH_REQUIRE(!config_.switchSlot.isZero());
+    SimTime at = config_.switchSlot;
+    for (; at <= horizon; at = at + config_.switchSlot) {
+      scheduler.addBarrier(at, [this] { relay_->drainAtBarrier(); });
+    }
+    if (at - config_.switchSlot < horizon) {
+      scheduler.addBarrier(horizon, [this] { relay_->drainAtBarrier(); });
+    }
+  }
+  scheduler.run(horizon);
 
   RunResults results;
   for (const auto& domain : domainSims_) {
@@ -697,6 +816,12 @@ RunResults Simulation::runMultiChannel() {
       results.channelDelivered.push_back(
           domainRegistries_[d]->value("app.packets_delivered"));
     }
+  }
+
+  if (relay_ != nullptr) {
+    results.gatewayCount = relay_->gatewayCount();
+    results.handoffFrames = relay_->totalInjected();
+    results.gatewayStats = relay_->counters();
   }
 
   std::vector<fault::RecoveryReport> reports;

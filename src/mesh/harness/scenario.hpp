@@ -21,6 +21,8 @@
 #include "mesh/common/vec2.hpp"
 #include "mesh/fault/fault_injector.hpp"
 #include "mesh/fault/recovery_analyzer.hpp"
+#include "mesh/gateway/gateway_relay.hpp"
+#include "mesh/gateway/gateway_set.hpp"
 #include "mesh/harness/mesh_node.hpp"
 #include "mesh/metrics/metric.hpp"
 #include "mesh/net/pool.hpp"
@@ -124,9 +126,10 @@ struct ScenarioConfig {
   // `channels` orthogonal collision domains — one phy::Channel and one
   // event queue per domain, frames only interact within a domain. Requires
   // a static geometric scenario (no mobility, no custom link model), and
-  // note that multicast traffic only flows inside a domain: pick groups
-  // channel-locally (makeStripedGroups) or expect cross-domain members to
-  // starve. 1 (the default) is the legacy single-channel simulator,
+  // note that multicast traffic only flows inside a domain unless gateways
+  // carry it across: pick groups channel-locally (makeStripedGroups), or
+  // configure `gateways` below and let spanning groups ride the handoff
+  // path. 1 (the default) is the legacy single-channel simulator,
   // byte-identical to pre-channelplan builds. The MESH_CHANNELS
   // environment variable overrides this knob at build time.
   std::size_t channels{1};
@@ -142,6 +145,18 @@ struct ScenarioConfig {
   // channelplan path against the legacy path is directly testable; no
   // config key maps to it.
   bool forceChannelPlan{false};
+
+  // Cross-domain gateways (src/mesh/gateway): `gateways` nodes get one
+  // extra radio per foreign collision domain and relay frames between
+  // domains at epoch barriers every `switchSlot`. 0 (the default) builds no
+  // relay at all — the channels>1 path stays byte-identical to the
+  // gateway-less simulator. `gatewaySelect` picks which nodes serve
+  // (ignored when `gatewayNodes` names them explicitly). The MESH_GATEWAYS
+  // environment variable overrides the count at build time.
+  std::size_t gateways{0};
+  gateway::GatewaySelect gatewaySelect{gateway::GatewaySelect::EveryK};
+  std::vector<net::NodeId> gatewayNodes;  // explicit roster (forces Explicit)
+  SimTime switchSlot{SimTime::milliseconds(50)};
 
   ProtocolSpec protocol;
   SimTime duration{SimTime::seconds(std::int64_t{400})};
@@ -161,6 +176,10 @@ struct ScenarioConfig {
   // metrics would be meaningless otherwise. Both empty: zero overhead.
   fault::FaultSchedule faults;
   std::optional<fault::ChurnSpec> churn;
+  // Non-empty: churn draws victims from this explicit list instead of the
+  // complement-of-endpoints default — the §4.1 churn figure uses it to
+  // crash actual forwarding-group members discovered in a pilot run.
+  std::vector<net::NodeId> churnVictims;
 
   // Optional: replace geometric placement entirely (testbed emulation).
   // When set, positions are taken from `fixedPositions` (may be empty for
@@ -237,6 +256,14 @@ struct RunResults {
   // channel-tagged TxStart/Deliver records.
   std::vector<std::uint64_t> channelFrames;     // phy.frames_sent
   std::vector<std::uint64_t> channelDelivered;  // app.packets_delivered
+
+  // Gateway relay totals; zero/empty unless the run configured gateways.
+  // `handoffFrames` counts frames injected across a domain boundary;
+  // per-gateway counters include the residual still staged at teardown
+  // (frames captured after the last barrier).
+  std::uint64_t gatewayCount{0};
+  std::uint64_t handoffFrames{0};
+  std::vector<gateway::GatewayCounters> gatewayStats;
 };
 
 class Simulation {
@@ -280,6 +307,10 @@ class Simulation {
   }
   MeshNode& node(net::NodeId id) { return *nodes_.at(id); }
   std::size_t nodeCount() const { return nodes_.size(); }
+  // Gateway roster (empty unless the run configured gateways) and the
+  // relay carrying frames between domains (null likewise).
+  const gateway::GatewaySet& gatewaySet() const { return gatewaySet_; }
+  const gateway::GatewayRelay* gatewayRelay() const { return relay_.get(); }
   // Non-null only when the scenario carries faults (explicit or churn).
   fault::FaultInjector* faultInjector() { return injector_.get(); }
   const fault::RecoveryAnalyzer* recovery() const { return recovery_.get(); }
@@ -335,6 +366,12 @@ class Simulation {
   std::vector<std::unique_ptr<phy::Channel>> channels_;
   std::vector<std::unique_ptr<trace::TraceCollector>> domainTraces_;
   std::vector<std::unique_ptr<trace::CounterRegistry>> domainRegistries_;
+
+  // Gateway relay: its ports hold Radio/Mac instances referencing the
+  // domain simulators and channels above, so like nodes_ it must be
+  // declared after them (torn down first).
+  gateway::GatewaySet gatewaySet_;
+  std::unique_ptr<gateway::GatewayRelay> relay_;
 
   std::vector<std::unique_ptr<MeshNode>> nodes_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -69,6 +69,19 @@ void Mac80211::onIdleEdge() {
 
 void Mac80211::send(net::PacketPtr payload, net::NodeId dst) {
   MESH_REQUIRE(payload != nullptr);
+  if (queueDropFault_) {
+    // Injected MAC-layer fault (FaultKind::MacQueueDrop): the queue
+    // silently swallows every payload while active — the upper layers see
+    // neither an error nor a tx-status report, exactly like a firmware
+    // queue stall.
+    ++stats_.faultQueueDrops;
+    if (trace_ != nullptr) {
+      trace_->drop(simulator_.now(), nodeId(), payload.get(), payload->kind(),
+                   static_cast<std::uint32_t>(payload->sizeBytes()),
+                   trace::DropReason::FaultMacQueueDrop);
+    }
+    return;
+  }
   if (queue_.size() >= params_.queueLimit) {
     ++stats_.queueDrops;
     switch (payload->kind()) {

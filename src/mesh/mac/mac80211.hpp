@@ -62,6 +62,7 @@ struct MacStats {
   std::uint64_t delivered{0};         // payloads handed to the upper layer
   std::uint64_t dupSuppressed{0};
   std::uint64_t responsesSkipped{0};  // CTS/ACK suppressed (radio busy/NAV)
+  std::uint64_t faultQueueDrops{0};   // swallowed by an injected queue fault
 };
 
 class Mac80211 {
@@ -104,6 +105,11 @@ class Mac80211 {
   // Queue a payload for transmission. dst == net::kBroadcastNode selects
   // the broadcast service.
   void send(net::PacketPtr payload, net::NodeId dst);
+
+  // Fault injection (FaultKind::MacQueueDrop): while active, send()
+  // silently drops every payload at the queue entry with a
+  // FaultMacQueueDrop trace record. Frames already queued still transmit.
+  void setQueueDropFault(bool active) { queueDropFault_ = active; }
 
   std::size_t queueDepth() const { return queue_.size() + (current_ ? 1u : 0u); }
   SimTime navUntil() const { return navUntil_; }
@@ -202,6 +208,7 @@ class Mac80211 {
   TxQueue queue_;
   std::optional<TxJob> current_;
   std::uint16_t seqCounter_{0};
+  bool queueDropFault_{false};  // injected MacQueueDrop fault is active
 
   // Contention state.
   int cw_;

@@ -140,6 +140,27 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
                       : std::uint64_t{0});
     }
   }
+  // Gateway relay totals, present only when the run configured gateways.
+  // Same flat-key convention as ch<k>_*: per-gateway handoff counts plus
+  // the residual frames still staged when the run ended (`meshtrace
+  // verify` cross-checks handoff_frames against gateway_handoff records).
+  if (record.results.gatewayCount > 0) {
+    line += ',';
+    appendField(line, "gateways", record.results.gatewayCount);
+    line += ',';
+    appendField(line, "handoff_frames", record.results.handoffFrames);
+    for (const auto& gw : record.results.gatewayStats) {
+      char key[48];
+      std::snprintf(key, sizeof key, "gw%u_handoff",
+                    static_cast<unsigned>(gw.node));
+      line += ',';
+      appendField(line, key, gw.injected);
+      std::snprintf(key, sizeof key, "gw%u_residual",
+                    static_cast<unsigned>(gw.node));
+      line += ',';
+      appendField(line, key, gw.residual);
+    }
+  }
   if (!record.tracePath.empty()) {
     line += ",\"trace\":\"";
     appendEscaped(line, record.tracePath);

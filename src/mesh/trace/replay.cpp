@@ -87,6 +87,10 @@ TraceSummary summarizeTrace(const ParsedTrace& trace) {
       case EventType::FaultClear:
         ++summary.faultsCleared;
         break;
+      case EventType::GatewayHandoff:
+        ++summary.handoffFrames;
+        ++summary.handoffPerGateway[record.node];
+        break;
       default:
         break;
     }
@@ -256,6 +260,27 @@ VerifyReport verifyAgainstResults(const std::string& resultsJsonlPath,
           diffField(run, key, static_cast<double>(traceDelivered),
                     static_cast<double>(v), 0.0);
         }
+      }
+    }
+    // Gateway rows record relay totals; cross-check them exactly against
+    // the trace's gateway_handoff records, total and per gateway.
+    std::uint64_t handoffFrames = 0;
+    if (jsonFindUint(line, "handoff_frames", handoffFrames)) {
+      diffField(run, "handoff_frames",
+                static_cast<double>(summary.handoffFrames),
+                static_cast<double>(handoffFrames), 0.0);
+      for (std::uint64_t id = 0; id < trace.nodes; ++id) {
+        char key[48];
+        std::snprintf(key, sizeof(key), "gw%llu_handoff",
+                      static_cast<unsigned long long>(id));
+        std::uint64_t v = 0;
+        if (!jsonFindUint(line, key, v)) continue;
+        const auto it =
+            summary.handoffPerGateway.find(static_cast<net::NodeId>(id));
+        const std::uint64_t traceCount =
+            it != summary.handoffPerGateway.end() ? it->second : 0;
+        diffField(run, key, static_cast<double>(traceCount),
+                  static_cast<double>(v), 0.0);
       }
     }
     if (summary.unknownReasonDrops > 0) {

@@ -56,6 +56,11 @@ struct TraceSummary {
     std::int64_t busyTimeNs{0};
   };
   std::map<int, ChannelStats> perChannel;
+
+  // Cross-domain gateway relay (GatewayHandoff records): total handoffs
+  // plus a per-gateway breakdown. Empty on gateway-less runs.
+  std::uint64_t handoffFrames{0};
+  std::map<net::NodeId, std::uint64_t> handoffPerGateway;
 };
 
 TraceSummary summarizeTrace(const ParsedTrace& trace);

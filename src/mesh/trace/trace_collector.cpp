@@ -204,6 +204,26 @@ void TraceCollector::faultEvent(SimTime t, EventType type, FaultKind kind,
   append(record);
 }
 
+void TraceCollector::gatewayHandoff(SimTime t, net::NodeId gateway,
+                                    const net::Packet& rebuilt,
+                                    std::uint8_t srcDomain,
+                                    std::uint32_t srcPid) {
+  TraceRecord record;
+  record.timeNs = t.ns();
+  record.pid = pidOf(rebuilt);
+  // No packet bytes to report — the field carries the source domain's
+  // local pid so exportMergedJsonl can alias this record's pid chain back
+  // to the original packet (reason holds the source domain index).
+  record.sizeBytes = srcPid;
+  record.node = gateway;
+  record.origin = rebuilt.origin();
+  record.type = static_cast<std::uint8_t>(EventType::GatewayHandoff);
+  record.kind = static_cast<std::uint8_t>(rebuilt.kind());
+  record.reason = srcDomain;
+  record.channel = channelTag_;
+  append(record);
+}
+
 std::string toJsonLine(const TraceRecord& record) {
   const auto type = static_cast<EventType>(record.type);
   const auto kind = static_cast<net::PacketKind>(record.kind);
@@ -255,6 +275,16 @@ std::string toJsonLine(const TraceRecord& record) {
         record.timeNs, toString(type), record.node, record.pid,
         net::toString(kind), record.sizeBytes, record.origin, record.group,
         chan);
+  } else if (type == EventType::GatewayHandoff) {
+    // sizeBytes holds the source-domain pid (merge bookkeeping, see
+    // gatewayHandoff) — not packet bytes, so it is not emitted. `src_ch`
+    // is the source collision domain; `channel` the destination.
+    n = std::snprintf(
+        buf, sizeof(buf),
+        R"({"t":%)" PRId64
+        R"(,"ev":"%s","node":%u,"pid":%u,"kind":"%s","src_ch":%u%s})",
+        record.timeNs, toString(type), record.node, record.pid,
+        net::toString(kind), record.reason, chan);
   } else if (type == EventType::Drop) {
     n = std::snprintf(
         buf, sizeof(buf),
@@ -436,9 +466,28 @@ bool TraceCollector::exportMergedJsonl(
     if (record.pid != 0) {
       const std::uint64_t key =
           (static_cast<std::uint64_t>(best) << 32) | record.pid;
-      const auto [it, inserted] = pidMap.try_emplace(key, nextPid);
-      if (inserted) ++nextPid;
-      record.pid = it->second;
+      if (record.type == static_cast<std::uint8_t>(EventType::GatewayHandoff) &&
+          record.sizeBytes != 0 && record.reason < parts.size()) {
+        // A handoff record is the rebuilt copy's first appearance in its
+        // destination part; (reason, sizeBytes) name the original packet
+        // in the source part. Alias the rebuilt (part, pid) to the
+        // original's global pid so one packet keeps one pid across
+        // domains — chained handoffs resolve because the source pid is
+        // itself already aliased. Assigning the source eagerly (it may
+        // not have surfaced yet at equal merge time) keeps numbering in
+        // merged first-appearance order.
+        const std::uint64_t srcKey =
+            (static_cast<std::uint64_t>(record.reason) << 32) |
+            record.sizeBytes;
+        const auto [sit, srcInserted] = pidMap.try_emplace(srcKey, nextPid);
+        if (srcInserted) ++nextPid;
+        pidMap.insert_or_assign(key, sit->second);
+        record.pid = sit->second;
+      } else {
+        const auto [it, inserted] = pidMap.try_emplace(key, nextPid);
+        if (inserted) ++nextPid;
+        record.pid = it->second;
+      }
     }
     const std::string line = toJsonLine(record);
     ok = std::fputs(line.c_str(), out) >= 0 && std::fputc('\n', out) != EOF;

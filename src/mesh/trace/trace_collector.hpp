@@ -72,6 +72,18 @@ class TraceCollector {
   void faultEvent(SimTime t, EventType type, FaultKind kind, net::NodeId node,
                   net::NodeId peer, double lossRate = 0.0,
                   double powerDbm = 0.0);
+  // Gateway handoff: `rebuilt` is the copy just built into THIS collector's
+  // domain; `srcDomain`/`srcPid` identify the original packet in the source
+  // domain's collector. Emitted before the rebuilt copy's first other
+  // record, so `exportMergedJsonl` can alias the rebuilt pid to the
+  // original's merged pid — cross-domain deliveries keep the birth pid.
+  void gatewayHandoff(SimTime t, net::NodeId gateway, const net::Packet& rebuilt,
+                      std::uint8_t srcDomain, std::uint32_t srcPid);
+
+  // Public pid lookup (assigning on first sight, like every emitter): the
+  // gateway relay uses it to capture a packet's source-domain pid before
+  // rebuilding it into the destination domain.
+  std::uint32_t pidFor(const net::Packet& pkt) { return pidOf(pkt); }
 
   std::uint64_t recordCount() const { return total_; }
 

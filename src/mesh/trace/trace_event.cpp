@@ -8,7 +8,7 @@ namespace {
 constexpr const char* kEventNames[] = {
     "pkt_birth", "enqueue", "tx_start", "tx_end",   "rx_ok",       "drop",
     "forward",   "deliver", "probe_tx", "probe_rx", "member_join",
-    "fault_inject", "fault_clear",
+    "fault_inject", "fault_clear", "gateway_handoff",
 };
 
 constexpr const char* kDropNames[] = {
@@ -29,10 +29,11 @@ constexpr const char* kDropNames[] = {
     "fault_link_down",
     "fault_probe_blackhole",
     "phy_rate_decode",
+    "fault_mac_queue_drop",
 };
 
 constexpr const char* kFaultNames[] = {
-    "crash", "blackout", "loss", "burst", "blackhole",
+    "crash", "blackout", "loss", "burst", "blackhole", "queue_drop",
 };
 
 constexpr std::size_t kEventCount = sizeof(kEventNames) / sizeof(kEventNames[0]);

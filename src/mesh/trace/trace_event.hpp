@@ -34,6 +34,7 @@ enum class EventType : std::uint8_t {
   MemberJoin = 10, // node joined a multicast group (build time)
   FaultInject = 11, // fault subsystem applied a fault (node/link/noise)
   FaultClear = 12,  // fault subsystem cleared a fault (recover/restore)
+  GatewayHandoff = 13, // frame rebuilt across a domain boundary at a gateway
 };
 
 enum class DropReason : std::uint8_t {
@@ -59,6 +60,8 @@ enum class DropReason : std::uint8_t {
   FaultProbeBlackhole = 15,// probe swallowed by an injected probe blackhole
   // Rate subsystem (src/mesh/rate).
   PhyRateDecode = 16,      // frame failed the per-rate SNR→PER draw
+  // MAC-layer fault injection.
+  FaultMacQueueDrop = 17,  // injected queue-drop fault swallowed the frame
 };
 
 // What a FaultInject/FaultClear record describes. Lives here (not in
@@ -70,6 +73,7 @@ enum class FaultKind : std::uint8_t {
   LossRamp = 2,          // pair loss ramped 0 -> target over the window
   InterferenceBurst = 3, // extra in-band power injected at a radio
   ProbeBlackhole = 4,    // node silently swallows received probes
+  MacQueueDrop = 5,      // node's MAC silently drops frames at enqueue
 };
 
 const char* toString(EventType type);
@@ -93,7 +97,8 @@ struct TraceRecord {
   net::GroupId group{0};
   std::uint8_t type{0};    // EventType
   std::uint8_t kind{0};    // net::PacketKind
-  std::uint8_t reason{0};  // DropReason (Drop) or FaultKind (FaultInject/Clear)
+  std::uint8_t reason{0};  // DropReason (Drop), FaultKind (FaultInject/Clear),
+                           // or source-domain index (GatewayHandoff)
   std::uint8_t rate{0};    // TxVector code on TxStart (0 = legacy/basic path)
   std::uint8_t channel{0}; // 1 + collision-domain index (0 = single-channel)
   std::uint8_t pad[5]{};   // explicit zero padding: spill files are memcpy'd

@@ -203,6 +203,12 @@ TraceReadResult readTraceFile(const std::string& path) {
       jsonFindDouble(line, "loss", record.loss);
       jsonFindDouble(line, "dbm", record.dbm);
     }
+    if (record.type == EventType::GatewayHandoff) {
+      if (!jsonFindUint(line, "src_ch", u)) {
+        return fail("gateway_handoff record without src_ch");
+      }
+      record.srcChannel = static_cast<std::int16_t>(u);
+    }
     if (jsonFindUint(line, "rate", u)) {
       record.rate = static_cast<std::uint8_t>(u);
     }

@@ -47,6 +47,9 @@ struct ParsedRecord {
   // TxStart/Drop/Deliver on multi-channel runs: collision-domain index.
   // -1 when the record carries no channel (single-channel trace).
   std::int16_t channel{-1};
+  // GatewayHandoff only: the domain the frame was captured in (`channel`
+  // is the domain it was injected into). -1 otherwise.
+  std::int16_t srcChannel{-1};
 };
 
 struct ParsedTrace {

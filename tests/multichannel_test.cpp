@@ -24,6 +24,7 @@
 
 #include "mesh/channelplan/channel_plan.hpp"
 #include "mesh/channelplan/domain_scheduler.hpp"
+#include "mesh/gateway/gateway_set.hpp"
 #include "mesh/harness/experiment.hpp"
 #include "mesh/harness/scenario.hpp"
 #include "mesh/metrics/metric.hpp"
@@ -343,6 +344,143 @@ TEST(MultiChannel, SweepBytesMatchAcrossJobCountsAndVerifyCrossChecks) {
     EXPECT_TRUE(run.ok) << run.tracePath << ": " << run.error;
     EXPECT_TRUE(run.mismatches.empty());
   }
+
+  for (const auto& record : serial.records) {
+    const std::string name =
+        record.tracePath.substr(record.tracePath.find_last_of('/') + 1);
+    std::remove((dirSerial + "/" + name).c_str());
+    std::remove((dirParallel + "/" + name).c_str());
+  }
+  std::remove((dirSerial + "/results.jsonl").c_str());
+  std::remove((dirParallel + "/results.jsonl").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Gateways at scale: the 500-node acceptance scenario. Same mesh as
+// multiScenario but with *spanning* groups (drawn over the whole id space,
+// so membership crosses the Static id-mod-3 domains) and boundary-selected
+// gateways carrying the traffic between domains.
+
+harness::ScenarioConfig gatewayScenario(std::uint64_t seed) {
+  harness::ScenarioConfig config = multiScenario(seed);
+  Rng groupRng = Rng{seed}.fork("gwgroups");
+  config.groups = harness::makeRandomGroups(config.nodeCount, 3, 8, 1, groupRng);
+  config.gateways = 9;
+  config.gatewaySelect = gateway::GatewaySelect::Boundary;
+  return config;
+}
+
+TEST(MultiChannelGateway, WorkerCountDoesNotChangeRunBytes) {
+  const std::string dir = ::testing::TempDir();
+  const auto runWith = [&](std::size_t workers, const std::string& tracePath) {
+    harness::ScenarioConfig config = gatewayScenario(9700);
+    config.domainWorkers = workers;
+    config.tracePath = tracePath;
+    harness::Simulation sim{config};
+    EXPECT_EQ(sim.channelCount(), 3u);
+    EXPECT_EQ(sim.gatewaySet().nodes.size(), 9u);
+    return sim.run();
+  };
+
+  const std::string trace1 = dir + "/mcgw_w1.trace.jsonl";
+  const std::string trace2 = dir + "/mcgw_w2.trace.jsonl";
+  const std::string trace4 = dir + "/mcgw_w4.trace.jsonl";
+  const harness::RunResults w1 = runWith(1, trace1);
+  const harness::RunResults w2 = runWith(2, trace2);
+  const harness::RunResults w4 = runWith(4, trace4);
+
+  EXPECT_EQ(w1.gatewayCount, 9u);
+  EXPECT_GT(w1.handoffFrames, 0u);
+  EXPECT_GT(w1.packetsDelivered, 0u);
+  for (const harness::RunResults* r : {&w2, &w4}) {
+    EXPECT_EQ(w1.packetsSent, r->packetsSent);
+    EXPECT_EQ(w1.packetsDelivered, r->packetsDelivered);
+    EXPECT_EQ(w1.pdr, r->pdr);
+    EXPECT_EQ(w1.throughputBps, r->throughputBps);
+    EXPECT_EQ(w1.meanDelayS, r->meanDelayS);
+    EXPECT_EQ(w1.eventsExecuted, r->eventsExecuted);
+    EXPECT_EQ(w1.channelFrames, r->channelFrames);
+    EXPECT_EQ(w1.channelDelivered, r->channelDelivered);
+    EXPECT_EQ(w1.handoffFrames, r->handoffFrames);
+  }
+
+  const std::string bytes1 = slurp(trace1);
+  ASSERT_FALSE(bytes1.empty());
+  EXPECT_TRUE(bytes1 == slurp(trace2)) << "workers=2 gateway trace diverged";
+  EXPECT_TRUE(bytes1 == slurp(trace4)) << "workers=4 gateway trace diverged";
+  EXPECT_NE(bytes1.find("\"ev\":\"gateway_handoff\""), std::string::npos);
+  std::remove(trace1.c_str());
+  std::remove(trace2.c_str());
+  std::remove(trace4.c_str());
+}
+
+TEST(MultiChannelGateway, SweepBytesMatchAcrossJobCountsAndVerifyCrossChecks) {
+  const std::vector<harness::ProtocolSpec> protocols = {
+      harness::ProtocolSpec::with(metrics::MetricKind::Spp)};
+
+  const auto optionsFor = [](std::size_t jobs, const std::string& dir) {
+    harness::BenchOptions options;
+    options.topologies = 2;
+    options.duration = SimTime::zero();  // keep the scenario's 6 s
+    options.baseSeed = 9800;
+    options.verbose = false;
+    options.jobs = jobs;
+    options.traceDir = dir;
+    options.jsonlPath = dir + "/results.jsonl";
+    return options;
+  };
+
+  const std::string dirSerial = ::testing::TempDir() + "mcgw_jobs1";
+  const std::string dirParallel = ::testing::TempDir() + "mcgw_jobs4";
+  const auto runSweep = [&](std::size_t jobs, const std::string& dir) {
+    const harness::BenchOptions options = optionsFor(jobs, dir);
+    runner::JsonlResultSink sink{options.jsonlPath};
+    return runner::runComparisonSweep(protocols, gatewayScenario, options,
+                                      &sink);
+  };
+  const runner::SweepReport serial = runSweep(1, dirSerial);
+  const runner::SweepReport parallel = runSweep(4, dirParallel);
+
+  ASSERT_EQ(serial.failures, 0u);
+  ASSERT_EQ(parallel.failures, 0u);
+  ASSERT_EQ(serial.records.size(), 2u);
+  ASSERT_EQ(parallel.records.size(), 2u);
+
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    const runner::RunRecord& s = serial.records[i];
+    const runner::RunRecord& p = parallel.records[i];
+    EXPECT_EQ(s.seed, p.seed);
+    EXPECT_EQ(s.results.pdr, p.results.pdr);
+    EXPECT_EQ(s.results.handoffFrames, p.results.handoffFrames);
+    EXPECT_GT(s.results.handoffFrames, 0u);
+    EXPECT_EQ(s.eventsExecuted, p.eventsExecuted);
+
+    ASSERT_FALSE(s.tracePath.empty());
+    const std::string name =
+        s.tracePath.substr(s.tracePath.find_last_of('/') + 1);
+    const std::string serialBytes = slurp(dirSerial + "/" + name);
+    EXPECT_FALSE(serialBytes.empty());
+    EXPECT_TRUE(serialBytes == slurp(dirParallel + "/" + name))
+        << "gateway trace " << name << " diverged between --jobs 1 and 4";
+  }
+
+  // The JSONL rows carry gateways / handoff_frames / per-gateway counters;
+  // `meshtrace verify` cross-checks them against the gateway_handoff trace
+  // records, total and per gateway.
+  const trace::VerifyReport report =
+      trace::verifyAgainstResults(dirSerial + "/results.jsonl");
+  EXPECT_TRUE(report.ok()) << "file error: " << report.error << ", runs: "
+                           << report.runs.size();
+  for (const auto& run : report.runs) {
+    EXPECT_TRUE(run.ok) << run.tracePath << ": " << run.error;
+    for (const auto& diff : run.mismatches) {
+      ADD_FAILURE() << diff.field << " trace=" << diff.traceValue
+                    << " harness=" << diff.harnessValue;
+    }
+  }
+  const std::string jsonl = slurp(dirSerial + "/results.jsonl");
+  EXPECT_NE(jsonl.find("\"gateways\":9"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"handoff_frames\":"), std::string::npos);
 
   for (const auto& record : serial.records) {
     const std::string name =

@@ -192,6 +192,36 @@ TEST(PacketPoolTest, PacketsOutliveTheirPool) {
   survivor.reset();  // frees the slot and, with it, the orphaned Impl
 }
 
+TEST(PacketPoolTest, ReleaseRoutesToTheOwningPoolAcrossDomains) {
+  // The gateway relay rebuilds every frame into the destination domain's
+  // pool, but refcounts of the *source* copy can still drop while another
+  // domain's pool is current (barrier callbacks run under the destination
+  // pool). Release must route through the slot header to the owning pool —
+  // never into whichever pool happens to be current.
+  PacketPool home, foreign;
+  PacketPool* prev = PacketPool::setCurrent(&home);
+  PacketPtr p = Packet::make(PacketKind::Data, 1,
+                             std::vector<std::uint8_t>(64, 0x5A), 0_s);
+  const std::uint64_t homeCarved = home.stats().slotsCarved;
+  EXPECT_EQ(home.stats().liveSlots, 1u);
+
+  PacketPool::setCurrent(&foreign);
+  p.reset();  // final release under the wrong current pool
+  EXPECT_EQ(home.stats().liveSlots, 0u);
+  EXPECT_EQ(foreign.stats().liveSlots, 0u);
+  EXPECT_EQ(foreign.stats().slotsCarved, 0u);  // foreign never touched
+
+  // The slot went back onto home's free list: the next home allocation
+  // recycles it without carving a new one.
+  PacketPool::setCurrent(&home);
+  PacketPtr q = Packet::make(PacketKind::Data, 2,
+                             std::vector<std::uint8_t>(64, 0xA5), 0_s);
+  EXPECT_EQ(home.stats().slotsCarved, homeCarved);
+  EXPECT_EQ(home.stats().liveSlots, 1u);
+  q.reset();
+  PacketPool::setCurrent(prev);
+}
+
 TEST(PacketPoolTest, OversizedAllocationsBypassTheSlabs) {
   PacketPool pool;
   PacketPool* prev = PacketPool::setCurrent(&pool);

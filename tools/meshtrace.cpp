@@ -100,6 +100,16 @@ int runSummary(int argc, char** argv) {
                     ch, stats.frames, stats.drops, stats.delivered, share);
       }
     }
+    if (s.handoffFrames > 0) {
+      // Gateway trace: per-gateway handoff breakdown (frames the relay
+      // rebuilt and injected across a domain boundary at this gateway).
+      std::printf("  handoffs     %" PRIu64 " across %zu gateway%s\n",
+                  s.handoffFrames, s.handoffPerGateway.size(),
+                  s.handoffPerGateway.size() == 1 ? "" : "s");
+      for (const auto& [gateway, count] : s.handoffPerGateway) {
+        std::printf("    gw%-4u handoffs %" PRIu64 "\n", gateway, count);
+      }
+    }
     if (s.unknownReasonDrops > 0) {
       std::printf("  WARNING: %" PRIu64 " drops carry reason \"unknown\"\n",
                   s.unknownReasonDrops);
