@@ -27,6 +27,7 @@
 #include "mesh/phy/propagation.hpp"
 #include "mesh/rate/rate_controller.hpp"
 #include "mesh/rate/rate_table.hpp"
+#include "mesh/runner/snapshot_cache.hpp"
 #include "mesh/sim/event_queue.hpp"
 #include "mesh/sim/simulator.hpp"
 
@@ -539,6 +540,78 @@ void BM_ScaleTopologyBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ScaleTopologyBuild)->Arg(2000)->Arg(5000);
+
+// Snapshot adoption (DESIGN §14): the construction cost a sweep run pays
+// when the topology world is already cached. Same 3-channel scaled
+// scenarios as BM_ScaleTopologyBuild, but the placement, channel plan and
+// every reachability build are spliced in from a frozen snapshot — the
+// remaining cost is node/protocol wiring. The gap between this row and
+// BM_ScaleTopologyBuild at the same n is the per-run win the sweep-level
+// cache converts into wall-clock.
+void BM_SnapshotAdopt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  harness::ScenarioConfig config = harness::scaledSimulationScenario(n);
+  config.seed = 15;
+  config.channels = 3;
+  Rng groupRng = Rng{config.seed}.fork("groups");
+  config.groups = harness::makeStripedGroups(n, 3, 1, 10, 1, groupRng);
+  harness::TopologySnapshotPtr snapshot;
+  {
+    harness::Simulation builder{config};
+    snapshot = builder.captureSnapshot();
+  }
+  for (auto _ : state) {
+    harness::Simulation sim{config, snapshot};
+    benchmark::DoNotOptimize(sim.adoptedSnapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SnapshotAdopt)->Arg(500)->Arg(2000);
+
+// The sweep's setup path end to end through the SnapshotCache, cold vs
+// warm: cold pays the full world build plus the freeze/publish; warm is
+// acquire + adopt. One 500-node single-channel world per iteration (the
+// cache is re-created each time on the cold row so every iteration truly
+// builds).
+void BM_SweepSetupCold(benchmark::State& state) {
+  harness::ScenarioConfig config = harness::scaledSimulationScenario(500);
+  config.seed = 16;
+  Rng groupRng = Rng{config.seed}.fork("groups");
+  config.groups = harness::makeRandomGroups(500, 2, 10, 1, groupRng);
+  const std::string key = runner::SnapshotCache::keyFor(config);
+  for (auto _ : state) {
+    runner::SnapshotCache cache;
+    bool shouldBuild = false;
+    cache.acquire(key, shouldBuild);
+    harness::Simulation sim{config};
+    cache.publish(key, sim.captureSnapshot());
+    benchmark::DoNotOptimize(cache.stats().built);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepSetupCold);
+
+void BM_SweepSetupWarm(benchmark::State& state) {
+  harness::ScenarioConfig config = harness::scaledSimulationScenario(500);
+  config.seed = 16;
+  Rng groupRng = Rng{config.seed}.fork("groups");
+  config.groups = harness::makeRandomGroups(500, 2, 10, 1, groupRng);
+  const std::string key = runner::SnapshotCache::keyFor(config);
+  runner::SnapshotCache cache;
+  bool shouldBuild = false;
+  cache.acquire(key, shouldBuild);
+  {
+    harness::Simulation builder{config};
+    cache.publish(key, builder.captureSnapshot());
+  }
+  for (auto _ : state) {
+    harness::TopologySnapshotPtr snapshot = cache.acquire(key, shouldBuild);
+    harness::Simulation sim{config, std::move(snapshot)};
+    benchmark::DoNotOptimize(sim.adoptedSnapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepSetupWarm);
 
 // The cross-domain handoff path (DESIGN §13): stage one epoch's worth of
 // outbound broadcasts at a gateway, then drain the barrier — merge-sort

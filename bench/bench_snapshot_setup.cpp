@@ -1,0 +1,153 @@
+// Engineering bench — amortized sweep setup via topology snapshots.
+//
+// The DESIGN §14 acceptance shape: a 5-protocol × 10-seed comparison
+// sweep at 2000 nodes packed to 3x the paper's density on one shared
+// channel (bench_scale's dense single-channel row). Every cell of one
+// topology column rebuilds the identical world — placement, spatial
+// grid, frozen per-pair link rows — and at this density the shared
+// reachability build dominates per-run setup, so the snapshot cache
+// should cut the summed setup_seconds by nearly the protocol fan-out,
+// leaving only the unshareable node/protocol wiring. The bench runs
+// the sweep twice, cache off then on, and reports both sums, the
+// ratio (target: >= 3x), and per-cell result identity.
+//
+// A second, smaller sweep re-checks identity on the multi-domain
+// gateway shape (3 channels x 3 domain workers, boundary gateways,
+// domain-spanning groups) so the snapshot's ChannelPlan/GatewaySet
+// fields are exercised end-to-end here too, not just in snapshot_test.
+//
+// Setup time is duration-independent, so the default 5 s runs keep the
+// bench quick while measuring the real thing; MESH_BENCH_* overrides
+// apply, and --jobs/--jsonl/--trace work as in every bench.
+
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "mesh/runner/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mesh;
+  using namespace mesh::bench;
+
+#if defined(__GLIBC__)
+  // One hundred back-to-back ~12 MB simulations: returning every teardown
+  // to the OS makes the next setup re-fault the same pages, which is pure
+  // measurement noise on top of both modes. Keep the arena; this is the
+  // standard posture for long-lived sweep processes.
+  mallopt(M_TRIM_THRESHOLD, -1);
+  mallopt(M_MMAP_MAX, 0);
+#endif
+
+  harness::BenchOptions options = benchOptions(argc, argv, 10, 5);
+
+  const std::size_t n = 2000;
+  const auto denseScenario = [n](std::uint64_t seed) {
+    harness::ScenarioConfig config = harness::scaledSimulationScenario(n);
+    config.areaWidthM /= std::sqrt(3.0);
+    config.areaHeightM /= std::sqrt(3.0);
+    config.seed = seed;
+    config.traffic.start = SimTime::seconds(std::int64_t{2});
+    Rng groupRng = Rng{seed}.fork("groups");
+    config.groups =
+        harness::makeStripedGroups(config.nodeCount, 3, 1, 10, 1, groupRng);
+    return config;
+  };
+  const std::vector<harness::ProtocolSpec> protocols = {
+      harness::ProtocolSpec::original(),
+      harness::ProtocolSpec::with(metrics::MetricKind::Ett),
+      harness::ProtocolSpec::with(metrics::MetricKind::Etx),
+      harness::ProtocolSpec::with(metrics::MetricKind::Metx),
+      harness::ProtocolSpec::with(metrics::MetricKind::Spp)};
+
+  std::printf(
+      "Engineering — sweep setup amortization, %zu nodes at 3x density, "
+      "%zu protocols x %zu seeds\n",
+      n, protocols.size(), options.topologies);
+
+  const auto sweepWith = [&](bool cache) {
+    harness::BenchOptions o = options;
+    o.topologyCache = cache;
+    return runner::runComparisonSweep(protocols, denseScenario, o, nullptr);
+  };
+  const runner::SweepReport off = sweepWith(false);
+  const runner::SweepReport on = sweepWith(true);
+
+  std::printf("%10s  %10s  %10s  %10s  %8s\n", "cache", "setup sum", "built",
+              "reused", "sweep");
+  std::printf("%10s  %9.2fs  %10zu  %10zu  %7.1fs\n", "off", off.setupSeconds,
+              off.snapshotsBuilt, off.snapshotsReused, off.wallSeconds);
+  std::printf("%10s  %9.2fs  %10zu  %10zu  %7.1fs\n", "on", on.setupSeconds,
+              on.snapshotsBuilt, on.snapshotsReused, on.wallSeconds);
+  const double ratio =
+      on.setupSeconds > 0.0 ? off.setupSeconds / on.setupSeconds : 0.0;
+  std::printf("setup reduction: %.2fx (target >= 3x)\n", ratio);
+
+  // The two sweeps must agree exactly — the cache's core promise. Compare
+  // the deterministic per-run outputs (not wall-clock telemetry).
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    const runner::RunRecord& a = off.records[i];
+    const runner::RunRecord& b = on.records[i];
+    if (a.results.pdr != b.results.pdr ||
+        a.results.throughputBps != b.results.throughputBps ||
+        a.eventsExecuted != b.eventsExecuted) {
+      ++mismatches;
+    }
+  }
+  std::printf("result identity: %s (%zu/%zu cells diverged)\n",
+              mismatches == 0 ? "OK" : "FAILED", mismatches,
+              off.records.size());
+
+  // Multi-domain identity check: the gateway shape shares ChannelPlan,
+  // GatewaySet and per-domain reachability through the snapshot, and the
+  // domain workers adopt it concurrently. Small scale — this one is about
+  // correctness coverage, not the setup ratio.
+  const std::size_t gn = 600;
+  const auto gatewayScenario = [gn](std::uint64_t seed) {
+    harness::ScenarioConfig config = harness::scaledSimulationScenario(gn);
+    config.areaWidthM /= std::sqrt(3.0);
+    config.areaHeightM /= std::sqrt(3.0);
+    config.seed = seed;
+    config.channels = 3;
+    config.domainWorkers = 3;
+    config.gateways = 6;
+    config.gatewaySelect = gateway::GatewaySelect::Boundary;
+    config.traffic.start = SimTime::seconds(std::int64_t{2});
+    Rng groupRng = Rng{seed}.fork("spangroups");
+    config.groups =
+        harness::makeRandomGroups(config.nodeCount, 3, 10, 1, groupRng);
+    return config;
+  };
+  harness::BenchOptions gwOptions = options;
+  gwOptions.topologies = std::min<std::size_t>(options.topologies, 2);
+  std::size_t gwMismatches = 0;
+  {
+    harness::BenchOptions o = gwOptions;
+    o.topologyCache = false;
+    const runner::SweepReport gwOff =
+        runner::runComparisonSweep(protocols, gatewayScenario, o, nullptr);
+    o.topologyCache = true;
+    const runner::SweepReport gwOn =
+        runner::runComparisonSweep(protocols, gatewayScenario, o, nullptr);
+    for (std::size_t i = 0; i < gwOff.records.size(); ++i) {
+      const runner::RunRecord& a = gwOff.records[i];
+      const runner::RunRecord& b = gwOn.records[i];
+      if (a.results.pdr != b.results.pdr ||
+          a.results.throughputBps != b.results.throughputBps ||
+          a.eventsExecuted != b.eventsExecuted) {
+        ++gwMismatches;
+      }
+    }
+    std::printf(
+        "gateway-shape identity (3ch x 3 workers, %zu nodes): %s "
+        "(%zu/%zu cells diverged, %zu built / %zu reused)\n",
+        gn, gwMismatches == 0 ? "OK" : "FAILED", gwMismatches,
+        gwOff.records.size(), gwOn.snapshotsBuilt, gwOn.snapshotsReused);
+  }
+  return mismatches == 0 && gwMismatches == 0 ? 0 : 1;
+}

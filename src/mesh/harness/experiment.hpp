@@ -49,6 +49,14 @@ struct BenchOptions {
   // re-running the same sweep overwrites deterministically.
   std::string traceDir;
 
+  // Topology-snapshot cache (DESIGN §14): build each topology seed's
+  // immutable world once and share it across that seed's protocol runs.
+  // Results are byte-identical either way; off restores rebuild-every-run
+  // for A/B timing and bisection. The MESH_TOPOLOGY_CACHE environment
+  // variable ("on"/"off") overrides this knob at sweep time, and
+  // MESH_TOPOLOGY_CACHE_MB bounds resident snapshot memory (default 512).
+  bool topologyCache{true};
+
   // Applies MESH_BENCH_* environment overrides on top of the given
   // defaults (which should be the paper-scale values).
   static BenchOptions fromEnvironment(std::size_t defaultTopologies = 10,
@@ -72,10 +80,11 @@ struct ComparisonRow {
 // All protocols see identical topology seeds — paired comparison, like
 // the paper's normalization.
 //
-// The factory is always invoked on the calling thread, in (topology,
-// protocol) order, before any simulation starts; only the simulations
-// themselves run on pool workers. A run that throws is reported on stderr
-// and excluded from the aggregates instead of aborting the sweep.
+// The factory is always invoked on the calling thread, once per topology
+// seed in topology order, before any simulation starts (its output is
+// copied per protocol cell); only the simulations themselves run on pool
+// workers. A run that throws is reported on stderr and excluded from the
+// aggregates instead of aborting the sweep.
 std::vector<ComparisonRow> runProtocolComparison(
     const std::vector<ProtocolSpec>& protocols,
     const std::function<ScenarioConfig(std::uint64_t topologySeed)>& makeScenario,

@@ -106,7 +106,23 @@ std::vector<GroupSpec> makeStripedGroups(std::size_t nodeCount,
   return groups;
 }
 
+bool snapshotEligible(const ScenarioConfig& config) {
+  // The static-geometry subset: placement, reachability rows, channel plan
+  // and gateway roster are all decided once at build time and never move.
+  // Mobility rebuilds rows from live positions (a t=0 freeze would diverge
+  // from the lazy first-transmission build) and custom link-model
+  // factories own their geometry — both build from scratch.
+  return !config.linkModelFactory && config.mobilityMaxSpeedMps == 0.0;
+}
+
 Simulation::Simulation(ScenarioConfig config) : config_{std::move(config)} {
+  build();
+}
+
+Simulation::Simulation(ScenarioConfig config, TopologySnapshotPtr snapshot)
+    : config_{std::move(config)}, adopted_{std::move(snapshot)} {
+  MESH_REQUIRE(adopted_ != nullptr);
+  MESH_REQUIRE(snapshotEligible(config_));
   build();
 }
 
@@ -308,8 +324,15 @@ void Simulation::build() {
         simulator_, config_.node.phy, std::move(mobility),
         std::make_unique<phy::TwoRayGroundModel>(), std::move(fading));
   } else {
-    Rng placeRng = rng.fork("placement");
-    positions_ = placePositions(placeRng);
+    if (adopted_ != nullptr) {
+      // The placement draws come from rng.fork("placement"), a const fork:
+      // skipping them cannot perturb any other stream.
+      MESH_REQUIRE(adopted_->positions.size() == config_.nodeCount);
+      positions_ = adopted_->positions;
+    } else {
+      Rng placeRng = rng.fork("placement");
+      positions_ = placePositions(placeRng);
+    }
     std::unique_ptr<phy::FadingModel> fading;
     if (config_.rayleighFading) {
       fading = std::make_unique<phy::RayleighFading>();
@@ -348,6 +371,7 @@ void Simulation::build() {
   nodeConfig.rateControl = config_.rateControl;
   nodeConfig.rateTable = rateTable_.get();
   nodes_.reserve(config_.nodeCount);
+  registry_.hintSlotsPerSeries(config_.nodeCount + 1);
   for (std::size_t i = 0; i < config_.nodeCount; ++i) {
     nodes_.push_back(std::make_unique<MeshNode>(
         simulator_, *channel_, static_cast<net::NodeId>(i), nodeConfig,
@@ -427,6 +451,21 @@ void Simulation::build() {
         fanout);
     recovery_->arm();
   }
+
+  // Snapshot-eligible worlds force the reachability build at construction
+  // (DESIGN §14). Builds draw no RNG and static positions make t=0 rows
+  // identical to the lazy first-transmission build, so results cannot
+  // change — and construction cost lands in setup_seconds whether the
+  // snapshot cache is on or off, keeping the amortization A/B honest.
+  // Adopting runs splice the frozen rows in instead of rebuilding.
+  if (snapshotEligible(config_)) {
+    if (adopted_ != nullptr) {
+      MESH_REQUIRE(adopted_->reach.size() == 1);
+      channel_->adoptReachability(adopted_->reach[0]);
+    } else {
+      channel_->rebuildReachabilityNow();
+    }
+  }
 }
 
 void Simulation::buildMultiChannel(Rng& rng) {
@@ -444,16 +483,23 @@ void Simulation::buildMultiChannel(Rng& rng) {
                                   config_.traffic.payloadBytes);
   }
 
-  {
-    // Same fork label and draw sequence as the legacy static path, so a
-    // one-domain plan reproduces its topology bit-for-bit.
-    Rng placeRng = rng.fork("placement");
-    positions_ = placePositions(placeRng);
+  if (adopted_ != nullptr) {
+    MESH_REQUIRE(adopted_->positions.size() == config_.nodeCount);
+    MESH_REQUIRE(adopted_->plan.channels == domains);
+    positions_ = adopted_->positions;
+    plan_ = adopted_->plan;
+  } else {
+    {
+      // Same fork label and draw sequence as the legacy static path, so a
+      // one-domain plan reproduces its topology bit-for-bit.
+      Rng placeRng = rng.fork("placement");
+      positions_ = placePositions(placeRng);
+    }
+    // 250 m: the nominal reception range — the radius inside which two
+    // same-channel nodes contend.
+    plan_ = channelplan::makeChannelPlan(config_.channelAssign, domains,
+                                         positions_, 250.0);
   }
-  // 250 m: the nominal reception range — the radius inside which two
-  // same-channel nodes contend.
-  plan_ = channelplan::makeChannelPlan(config_.channelAssign, domains,
-                                       positions_, 250.0);
 
   if (config_.rateControl != rate::ControlKind::Fixed ||
       config_.rateSet != rate::RateSetKind::Basic) {
@@ -502,6 +548,10 @@ void Simulation::buildMultiChannel(Rng& rng) {
   nodeConfig.rateControl = config_.rateControl;
   nodeConfig.rateTable = rateTable_.get();
   nodes_.reserve(config_.nodeCount);
+  registry_.hintSlotsPerSeries(config_.nodeCount + 1);
+  for (auto& domainRegistry : domainRegistries_) {
+    domainRegistry->hintSlotsPerSeries(config_.nodeCount / plan_.channels + 2);
+  }
   for (std::size_t i = 0; i < config_.nodeCount; ++i) {
     const auto id = static_cast<net::NodeId>(i);
     const std::size_t d = plan_.channelOf(id);
@@ -510,11 +560,15 @@ void Simulation::buildMultiChannel(Rng& rng) {
     nodes_.push_back(std::make_unique<MeshNode>(
         *domainSims_[d], *channels_[d], id, nodeConfig, metric_.get(),
         rng.fork("node", i), collector));
-    // Both registries share the node's counter slots: registry_ keeps the
-    // run-level taxonomy summing across domains, the domain registry is
-    // what per-channel results and the recovery analyzers read.
-    nodes_.back()->registerCounters(registry_);
+    // Nodes register into their domain registry only — what per-channel
+    // results and the recovery analyzers read. The run-level taxonomy in
+    // registry_ absorbs every domain registry after the loop: same shared
+    // slots, one bulk map walk instead of a second per-node registration.
     nodes_.back()->registerCounters(*domainRegistries_[d]);
+  }
+
+  for (const auto& domainRegistry : domainRegistries_) {
+    registry_.absorb(*domainRegistry);
   }
 
   for (const GroupSpec& spec : config_.groups) {
@@ -536,15 +590,19 @@ void Simulation::buildMultiChannel(Rng& rng) {
   // are tapped for staging. gateways == 0 builds none of this — the
   // multi-channel path stays byte-identical to the gateway-less simulator.
   if (domains > 1 && (config_.gateways > 0 || !config_.gatewayNodes.empty())) {
-    gateway::GatewaySelect select = config_.gatewaySelect;
-    if (!config_.gatewayNodes.empty()) {
-      select = gateway::GatewaySelect::Explicit;
+    if (adopted_ != nullptr) {
+      gatewaySet_ = adopted_->gatewaySet;
+    } else {
+      gateway::GatewaySelect select = config_.gatewaySelect;
+      if (!config_.gatewayNodes.empty()) {
+        select = gateway::GatewaySelect::Explicit;
+      }
+      // 250 m: the same nominal reception range the channel plan scores
+      // boundary candidates against.
+      gatewaySet_ = gateway::makeGatewaySet(select, config_.gateways,
+                                            config_.gatewayNodes, plan_,
+                                            positions_, 250.0);
     }
-    // 250 m: the same nominal reception range the channel plan scores
-    // boundary candidates against.
-    gatewaySet_ = gateway::makeGatewaySet(select, config_.gateways,
-                                          config_.gatewayNodes, plan_,
-                                          positions_, 250.0);
     std::vector<gateway::GatewayRelay::DomainContext> contexts;
     contexts.reserve(domains);
     for (std::size_t d = 0; d < domains; ++d) {
@@ -683,6 +741,18 @@ void Simulation::buildMultiChannel(Rng& rng) {
       domainRecovery_[d]->arm();
     }
   }
+
+  // Forced reachability builds at construction (see build() — the
+  // multi-channel path is always snapshot-eligible: it REQUIREs static
+  // geometry above). Runs after gateway wiring so the rows cover the
+  // relay's port radios, which attach after each domain's own nodes.
+  for (std::size_t d = 0; d < domains; ++d) {
+    if (adopted_ != nullptr) {
+      channels_[d]->adoptReachability(adopted_->reach.at(d));
+    } else {
+      channels_[d]->rebuildReachabilityNow();
+    }
+  }
 }
 
 namespace {
@@ -743,6 +813,26 @@ fault::RecoveryReport mergeRecoveryReports(
 }
 
 }  // namespace
+
+TopologySnapshotPtr Simulation::captureSnapshot() {
+  if (!snapshotEligible(config_)) return nullptr;
+  // An adopting run has nothing new to freeze — the cache already holds
+  // this world.
+  MESH_REQUIRE(adopted_ == nullptr);
+  auto snapshot = std::make_shared<TopologySnapshot>();
+  snapshot->positions = positions_;
+  if (multiChannel_) {
+    snapshot->plan = plan_;
+    snapshot->gatewaySet = gatewaySet_;
+    snapshot->reach.reserve(channels_.size());
+    for (auto& channel : channels_) {
+      snapshot->reach.push_back(channel->freezeAndShare());
+    }
+  } else {
+    snapshot->reach.push_back(channel_->freezeAndShare());
+  }
+  return snapshot;
+}
 
 std::string Simulation::traceMetaLine() const {
   const double activeS =

@@ -24,6 +24,7 @@
 #include "mesh/gateway/gateway_relay.hpp"
 #include "mesh/gateway/gateway_set.hpp"
 #include "mesh/harness/mesh_node.hpp"
+#include "mesh/harness/topology_snapshot.hpp"
 #include "mesh/metrics/metric.hpp"
 #include "mesh/net/pool.hpp"
 #include "mesh/phy/channel.hpp"
@@ -266,9 +267,37 @@ struct RunResults {
   std::vector<gateway::GatewayCounters> gatewayStats;
 };
 
+// True when `config` describes a world the topology-snapshot cache can
+// capture and re-adopt (DESIGN §14): static geometric placement whose
+// link means are cacheable — no mobility, no custom link-model factory.
+// Ineligible scenarios always build from scratch; the runner reports
+// them as snapshot "off".
+bool snapshotEligible(const ScenarioConfig& config);
+
 class Simulation {
  public:
   explicit Simulation(ScenarioConfig config);
+
+  // Adopt-snapshot construction (DESIGN §14): skips placement, the channel
+  // plan, gateway selection and every reachability build by splicing in
+  // the frozen world. `snapshot` must have been captured from a scenario
+  // with identical topology-relevant keys (same seed, node count, area,
+  // placement, phy params, channels, gateways — the runner's SnapshotCache
+  // keys on exactly that subset); protocol, traffic, duration, faults and
+  // rate control may differ freely. Results are byte-identical to a
+  // from-scratch build: reachability builds draw no RNG and Rng::fork is
+  // const, so skipping work never perturbs any stream.
+  Simulation(ScenarioConfig config, TopologySnapshotPtr snapshot);
+
+  // Freezes this simulation's immutable world for reuse. Valid only on
+  // snapshot-eligible scenarios built from scratch, at most once, before
+  // run(); returns null when the scenario is ineligible. Zero-copy: the
+  // channels move their built rows into the snapshot and keep reading
+  // them through the shared path every adopter uses.
+  TopologySnapshotPtr captureSnapshot();
+
+  // True when this simulation was constructed by adopting a snapshot.
+  bool adoptedSnapshot() const { return adopted_ != nullptr; }
 
   // Runs to the configured duration (plus a small drain window) and
   // returns the aggregated results.
@@ -379,6 +408,10 @@ class Simulation {
   std::vector<std::unique_ptr<fault::FaultInjector>> domainInjectors_;
   std::vector<std::unique_ptr<fault::RecoveryAnalyzer>> domainRecovery_;
   std::vector<Vec2> positions_;
+  // Non-null when constructed by adoption; keeps the shared world alive
+  // for the channels' row views (they also hold their own ReachSnapshot
+  // refs, but positions/plan copies here read from it during build).
+  TopologySnapshotPtr adopted_;
 };
 
 }  // namespace mesh::harness

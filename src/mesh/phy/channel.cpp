@@ -124,6 +124,10 @@ void Channel::invalidateRadio(net::NodeId node) {
 
 void Channel::prepareSpatialIndex() {
   spatialActive_ = false;
+  // A full (re)build derives its own grid over live model positions; any
+  // adopted snapshot's frozen pair stops being authoritative here.
+  activeGrid_ = &grid_;
+  activePositions_ = &gridPositions_;
   const bool wanted =
       spatialEnvOverride_.has_value() ? *spatialEnvOverride_ : spatialKnob_;
   if (!wanted || !linkModel_->spatiallyIndexable()) return;
@@ -151,7 +155,10 @@ void Channel::prepareSpatialIndex() {
 }
 
 void Channel::buildRow(std::size_t tx) {
+  // Copy-on-write: the rebuilt row always lands in channel-local storage
+  // and the view is repointed — a shared snapshot row is never written.
   auto& row = reachable_[tx];
+  rowView_[tx] = &row;
   row.clear();
   // A failed radio keeps an empty receiver set (it cannot radiate) and
   // never appears in anyone else's set (it cannot hear). Radio::setFailed
@@ -184,8 +191,10 @@ void Channel::buildRow(std::size_t tx) {
     // set bits restores global ascending index order in O(k + n/64) —
     // measurably cheaper than a per-row sort — so the row, and every
     // downstream RNG draw, is bit-identical to the full scan below.
+    const SpatialGrid& grid = *activeGrid_;
+    const std::vector<Vec2>& positions = *activePositions_;
     rowScratch_.clear();
-    grid_.candidatesWithin(gridPositions_[tx], reachRadiusM_, rowScratch_);
+    grid.candidatesWithin(positions[tx], reachRadiusM_, rowScratch_);
     rowMask_.assign((radios_.size() + 63) / 64, 0);
     for (const std::uint32_t rx : rowScratch_) {
       rowMask_[rx >> 6] |= std::uint64_t{1} << (rx & 63);
@@ -194,13 +203,13 @@ void Channel::buildRow(std::size_t tx) {
     // contract (mean >= floor implies distance <= reach) makes a squared-
     // distance precheck exact, so those candidates cost one multiply
     // instead of a virtual propagation evaluation.
-    const Vec2 txPos = gridPositions_[tx];
+    const Vec2 txPos = positions[tx];
     const double reach2 = reachRadiusM_ * reachRadiusM_;
     for (std::size_t w = 0; w < rowMask_.size(); ++w) {
       for (std::uint64_t bits = rowMask_[w]; bits != 0; bits &= bits - 1) {
         const auto rx =
             (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
-        if (txPos.distanceSquaredTo(gridPositions_[rx]) > reach2) continue;
+        if (txPos.distanceSquaredTo(positions[rx]) > reach2) continue;
         consider(rx);
       }
     }
@@ -212,7 +221,11 @@ void Channel::buildRow(std::size_t tx) {
 void Channel::buildReachability() {
   prepareSpatialIndex();
   reachable_.resize(radios_.size());
+  rowView_.resize(radios_.size());
   for (std::size_t tx = 0; tx < radios_.size(); ++tx) buildRow(tx);
+  // Every row now lives in channel-local storage; a previously adopted
+  // snapshot has nothing left to contribute.
+  shared_.reset();
   dirtyRadios_.clear();  // a full build supersedes any pending row work
   dirtyMask_.assign((radios_.size() + 63) / 64, 0);
   reachabilityBuilt_ = true;
@@ -237,7 +250,8 @@ void Channel::applyDirtyRadios() {
   affected.clear();
   for (const std::uint32_t dirty : dirtyRadios_) {
     affected.push_back(dirty);
-    grid_.candidatesWithin(gridPositions_[dirty], reachRadiusM_, affected);
+    activeGrid_->candidatesWithin((*activePositions_)[dirty], reachRadiusM_,
+                                  affected);
   }
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),
@@ -249,6 +263,71 @@ void Channel::applyDirtyRadios() {
   dirtyRadios_.clear();
   ++stats_.incrementalRebuilds;
   stats_.rowsRebuilt += affected.size();
+}
+
+std::size_t Channel::ReachSnapshot::approxBytes() const {
+  std::size_t bytes = sizeof(ReachSnapshot);
+  bytes += rows.capacity() * sizeof(rows[0]);
+  for (const auto& row : rows) bytes += row.capacity() * sizeof(CachedLink);
+  bytes += positions.capacity() * sizeof(Vec2);
+  bytes += grid.approxBytes();
+  return bytes;
+}
+
+std::shared_ptr<const Channel::ReachSnapshot> Channel::freezeAndShare() {
+  MESH_REQUIRE(cacheMeans_);
+  MESH_REQUIRE(refreshInterval_.isZero());
+  MESH_REQUIRE(shared_ == nullptr);
+  // Freeze the settled state: force the first build or flush pending
+  // per-row work, exactly what the next transmission would have done.
+  if (!reachabilityBuilt_) {
+    buildReachability();
+  } else if (!dirtyRadios_.empty()) {
+    applyDirtyRadios();
+  }
+  auto snapshot = std::make_shared<ReachSnapshot>();
+  snapshot->rows = std::move(reachable_);
+  snapshot->grid = std::move(grid_);
+  snapshot->positions = std::move(gridPositions_);
+  snapshot->reachRadiusM = reachRadiusM_;
+  snapshot->spatialActive = spatialActive_;
+  // Adopt the frozen state ourselves: the builder run reads the same rows
+  // through the same shared path every adopter uses, at zero copy cost.
+  reachable_.assign(snapshot->rows.size(), {});
+  gridPositions_.clear();
+  grid_ = SpatialGrid{};
+  shared_ = snapshot;
+  rowView_.resize(snapshot->rows.size());
+  for (std::size_t i = 0; i < snapshot->rows.size(); ++i) {
+    rowView_[i] = &snapshot->rows[i];
+  }
+  activeGrid_ = &snapshot->grid;
+  activePositions_ = &snapshot->positions;
+  return snapshot;
+}
+
+void Channel::adoptReachability(
+    std::shared_ptr<const ReachSnapshot> snapshot) {
+  MESH_REQUIRE(snapshot != nullptr);
+  MESH_REQUIRE(!reachabilityBuilt_ && shared_ == nullptr);
+  MESH_REQUIRE(cacheMeans_);
+  MESH_REQUIRE(refreshInterval_.isZero());
+  MESH_REQUIRE(snapshot->rows.size() == radios_.size());
+  shared_ = std::move(snapshot);
+  const std::size_t n = radios_.size();
+  reachable_.assign(n, {});
+  rowView_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) rowView_[i] = &shared_->rows[i];
+  activeGrid_ = &shared_->grid;
+  activePositions_ = &shared_->positions;
+  reachRadiusM_ = shared_->reachRadiusM;
+  spatialActive_ = shared_->spatialActive;
+  dirtyRadios_.clear();
+  dirtyMask_.assign((n + 63) / 64, 0);
+  reachabilityBuilt_ = true;
+  attachClosed_ = true;
+  reachabilityBuiltAt_ = simulator_.now();
+  ++stats_.snapshotAdopts;
 }
 
 bool Channel::lossSuppressed(net::NodeId tx, net::NodeId rx,
@@ -302,7 +381,7 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
     // (fadingPath_, classified at construction — same draws, same bits).
     const FadingPath fp = fadingPath_;
     std::uint64_t scheduled = 0;
-    for (const CachedLink& link : reachable_[txIndex]) {
+    for (const CachedLink& link : *rowView_[txIndex]) {
       Radio& receiver = *radios_[link.rxIndex];
       if (checkLoss && lossSuppressed(txNode, receiver.nodeId(), frame)) {
         continue;
@@ -334,7 +413,7 @@ void Channel::transmit(Radio& sender, const PhyFramePtr& frame,
 
   // Mobility: positions change between rebuilds, so power and delay are
   // queried live (the cache still bounds the fan-out via its headroom).
-  for (const CachedLink& link : reachable_[txIndex]) {
+  for (const CachedLink& link : *rowView_[txIndex]) {
     Radio& receiver = *radios_[link.rxIndex];
     if (checkLoss && lossSuppressed(txNode, receiver.nodeId(), frame)) {
       continue;

@@ -33,6 +33,15 @@
 // build cost drops to O(n·k). Single-radio invalidations (fail/recover)
 // rebuild only the affected rows. MESH_SPATIAL_INDEX=off restores the
 // full-scan path.
+//
+// Because a build draws no RNG and (for static geometry) is a pure
+// function of positions and radio parameters, the built state can be
+// frozen into an immutable ReachSnapshot and shared across simulations of
+// the same topology (DESIGN §14): freezeAndShare() moves the rows/grid
+// behind a shared_ptr, adoptReachability() splices them into an
+// identically built channel, and the per-row view table makes every
+// mutation copy-on-write — a rebuilt row lands in channel-local storage
+// while untouched rows keep reading the shared slab.
 
 #include <cstdint>
 #include <memory>
@@ -73,10 +82,40 @@ struct ChannelStats {
   // Invalidations that found a rebuild already pending (or the same radio
   // already dirty) and therefore cost nothing — the churn-coalescing win.
   std::uint64_t coalescedInvalidations{0};
+  // Reachability state adopted from a shared snapshot instead of built
+  // (adoptReachability). Deliberately not folded into reachabilityRebuilds:
+  // an adopt derives nothing.
+  std::uint64_t snapshotAdopts{0};
 };
 
 class Channel {
  public:
+  // One reachable receiver of a transmitter: the slab the per-transmission
+  // loop iterates. meanPowerW/propagation are only read when the link
+  // model's means are cacheable; under mobility they are sampled live.
+  struct CachedLink {
+    std::uint32_t rxIndex;
+    double meanPowerW;
+    SimTime propagation;
+  };
+
+  // An immutable freeze of one channel's built reachability state: the
+  // per-transmitter receiver rows plus the spatial-index state needed to
+  // rebuild individual rows against it (the copy-on-write path). Produced
+  // by freezeAndShare() on a channel with cacheable (static-geometry)
+  // means; adopted by adoptReachability() on channels built identically —
+  // same radios in the same attach order over the same geometry. Strictly
+  // read-only after construction: concurrent simulations share one
+  // instance without synchronization.
+  struct ReachSnapshot {
+    std::vector<std::vector<CachedLink>> rows;
+    SpatialGrid grid;               // over `positions`; unused when
+    std::vector<Vec2> positions;    // !spatialActive
+    double reachRadiusM{0.0};
+    bool spatialActive{false};
+    std::size_t approxBytes() const;
+  };
+
   // `fadingHeadroom`: see file comment. The link model must outlive the
   // channel if passed by reference; here we take ownership.
   Channel(sim::Simulator& simulator, std::unique_ptr<LinkModel> linkModel,
@@ -129,6 +168,30 @@ class Channel {
   // use it to pin rebuild points). Also flushes any pending dirty set.
   void rebuildReachabilityNow() { buildReachability(); }
 
+  // --- shared topology snapshots (DESIGN §14) -----------------------------
+
+  // Builds (if pending) and moves the reachability state into an immutable
+  // snapshot, which this channel then adopts itself — the builder run reads
+  // the very rows it froze, through the same shared path every adopter
+  // uses, at zero copy cost. Requires cacheable means (static geometry), no
+  // mobility refresh, and that no snapshot is already adopted; call at most
+  // once, before any post-build mutation.
+  std::shared_ptr<const ReachSnapshot> freezeAndShare();
+
+  // Adopts a previously frozen snapshot in place of the first build: marks
+  // reachability built and closes attach. The snapshot must come from an
+  // identically constructed channel (the row count is checked; geometric
+  // identity is the caller's contract — the runner's SnapshotCache keys on
+  // every topology-relevant config field). Later mutations copy-on-write:
+  // invalidateRadio/applyDirtyRadios rebuild affected rows into local
+  // storage, a full invalidation detaches from the snapshot entirely, and
+  // overrideLinkLoss never touches rows at all — so a sibling run sharing
+  // the snapshot can never observe this run's faults.
+  void adoptReachability(std::shared_ptr<const ReachSnapshot> snapshot);
+
+  // True while any rows are still read from an adopted/frozen snapshot.
+  bool sharesSnapshot() const { return shared_ != nullptr; }
+
   // Enable/disable the spatial-index fast path for reachability builds and
   // incremental invalidation. Takes effect at the next (re)build. The
   // MESH_SPATIAL_INDEX environment variable ("on"/"off", "1"/"0") wins
@@ -162,15 +225,6 @@ class Channel {
   const std::vector<Radio*>& radios() const { return radios_; }
 
  private:
-  // One reachable receiver of a transmitter: the slab the per-transmission
-  // loop iterates. meanPowerW/propagation are only read when the link
-  // model's means are cacheable; under mobility they are sampled live.
-  struct CachedLink {
-    std::uint32_t rxIndex;
-    double meanPowerW;
-    SimTime propagation;
-  };
-
   void buildReachability();
   // Decide whether the grid path applies and (re)build the grid over a
   // position snapshot. Sets spatialActive_.
@@ -205,7 +259,17 @@ class Channel {
 
   std::vector<Radio*> radios_;                 // indexed by attach order
   std::unordered_map<net::NodeId, std::uint32_t> nodeIndex_;  // id -> index
-  std::vector<std::vector<CachedLink>> reachable_;  // per-radio receiver sets
+  // Channel-owned receiver rows. Under a shared snapshot these start empty
+  // and only fill as rows are copy-on-write rebuilt; the hot path never
+  // reads them directly — it goes through rowView_.
+  std::vector<std::vector<CachedLink>> reachable_;
+  // Per-transmitter row indirection: rowView_[tx] points at either the
+  // shared snapshot's row or the channel-local rebuild in reachable_. One
+  // extra dereference per transmission buys zero-copy world sharing.
+  std::vector<const std::vector<CachedLink>*> rowView_;
+  // Non-null while any rowView_ entry still points into an adopted/frozen
+  // snapshot; keeps the shared rows (and grid/positions) alive.
+  std::shared_ptr<const ReachSnapshot> shared_;
 
   // --- spatial index state (see DESIGN §8.5) ------------------------------
   bool spatialKnob_{true};
@@ -214,6 +278,10 @@ class Channel {
   double reachRadiusM_{0.0};                // conservative pruning radius
   SpatialGrid grid_;
   std::vector<Vec2> gridPositions_;         // build-time position snapshot
+  // Grid/positions the row builders consult: the channel-owned pair above
+  // after a local build, the snapshot's frozen pair while adopted.
+  const SpatialGrid* activeGrid_{&grid_};
+  const std::vector<Vec2>* activePositions_{&gridPositions_};
   std::vector<std::uint32_t> dirtyRadios_;  // pending row invalidations
   std::vector<std::uint64_t> dirtyMask_;    // bit per radio: already in
                                             // dirtyRadios_ — O(1) dedup

@@ -99,6 +99,13 @@ std::string JsonlResultSink::toJson(const RunRecord& record) {
               record.wallSeconds > 0.0
                   ? static_cast<double>(record.eventsExecuted) / record.wallSeconds
                   : 0.0);
+  // Topology-snapshot telemetry (DESIGN §14): world-construction time and
+  // whether this run built, reused, or bypassed the shared snapshot.
+  line += ',';
+  appendField(line, "setup_seconds", record.setupSeconds);
+  line += ",\"snapshot\":\"";
+  appendEscaped(line, record.snapshot);
+  line += '"';
   // Churn metrics (all zero on fault-free runs). Always present so every
   // trajectory row of a failure-rate sweep has the same schema.
   line += ',';

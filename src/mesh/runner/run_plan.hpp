@@ -42,6 +42,14 @@ struct RunRecord {
   // Telemetry.
   double wallSeconds{0.0};
   std::uint64_t eventsExecuted{0};
+  // World-construction time (Simulation ctor: placement, channel plan,
+  // reachability builds or snapshot adoption) — the share the topology
+  // snapshot cache amortizes. Subset of wallSeconds.
+  double setupSeconds{0.0};
+  // How this run obtained its world: "built" (constructed from scratch and
+  // published to the cache), "reused" (adopted a cached snapshot), or
+  // "off" (cache disabled or scenario ineligible).
+  std::string snapshot{"off"};
 };
 
 }  // namespace mesh::runner

@@ -38,11 +38,12 @@ class ProgressPrinter {
       std::fprintf(stderr,
                    "[bench] %3zu/%zu  topology %zu  protocol %-6s "
                    "pdr=%.4f delay=%.4fs overhead=%.2f%%  (%.1fs wall, "
-                   "%.2fM ev/s)\n",
+                   "%.2fM ev/s, setup %.2fs %s)\n",
                    done_, total_, record.topologyIndex + 1,
                    record.protocolName.c_str(), record.results.pdr,
                    record.results.meanDelayS, record.results.probeOverheadPct,
-                   record.wallSeconds, eventsPerSec / 1e6);
+                   record.wallSeconds, eventsPerSec / 1e6, record.setupSeconds,
+                   record.snapshot.c_str());
     } else {
       std::fprintf(stderr,
                    "[bench] %3zu/%zu  topology %zu  protocol %-6s "
@@ -95,13 +96,16 @@ std::vector<RunPlan> buildComparisonPlans(
   plans.reserve(options.topologies * protocols.size());
   for (std::size_t t = 0; t < options.topologies; ++t) {
     const std::uint64_t seed = options.baseSeed + t;
+    // One factory call per topology: the scenario is topology-determined;
+    // every per-cell difference below is stamped onto a copy.
+    const harness::ScenarioConfig base = makeScenario(seed);
     for (std::size_t p = 0; p < protocols.size(); ++p) {
       RunPlan plan;
       plan.topologyIndex = t;
       plan.protocolIndex = p;
       plan.seed = seed;
       plan.protocolName = protocols[p].name();
-      plan.config = makeScenario(seed);
+      plan.config = base;
       plan.config.protocol = protocols[p];
       plan.config.seed = seed;
       if (options.duration > SimTime::zero()) {
@@ -119,7 +123,7 @@ std::vector<RunPlan> buildComparisonPlans(
   return plans;
 }
 
-RunRecord executePlan(const RunPlan& plan) {
+RunRecord executePlan(const RunPlan& plan, SnapshotCache* cache) {
   RunRecord record;
   record.topologyIndex = plan.topologyIndex;
   record.protocolIndex = plan.protocolIndex;
@@ -127,10 +131,33 @@ RunRecord executePlan(const RunPlan& plan) {
   record.protocolName = plan.protocolName;
   record.tracePath = plan.config.tracePath;
 
+  TopologySnapshotPtr snapshot;
+  bool shouldBuild = false;
+  std::string key;
+  if (cache != nullptr && harness::snapshotEligible(plan.config)) {
+    key = SnapshotCache::keyFor(plan.config);
+    // May block while a sibling run builds this key's world; the wait is
+    // excluded from setup_seconds (it is contention, not construction).
+    snapshot = cache->acquire(key, shouldBuild);
+  }
+
   const auto start = std::chrono::steady_clock::now();
   try {
-    harness::Simulation sim{plan.config};
-    record.results = sim.run();
+    std::unique_ptr<harness::Simulation> sim;
+    if (snapshot != nullptr) {
+      sim = std::make_unique<harness::Simulation>(plan.config,
+                                                  std::move(snapshot));
+      record.snapshot = "reused";
+    } else {
+      sim = std::make_unique<harness::Simulation>(plan.config);
+      if (shouldBuild) {
+        cache->publish(key, sim->captureSnapshot());
+        shouldBuild = false;
+        record.snapshot = "built";
+      }
+    }
+    record.setupSeconds = elapsedSeconds(start);
+    record.results = sim->run();
     record.eventsExecuted = record.results.eventsExecuted;
     record.ok = true;
   } catch (const std::exception& e) {
@@ -138,6 +165,9 @@ RunRecord executePlan(const RunPlan& plan) {
   } catch (...) {
     record.error = "unknown exception";
   }
+  // Release the claim if construction threw before publish: waiters on the
+  // key re-claim and fail individually, like the cache-off path would.
+  if (shouldBuild) cache->abandon(key);
   record.wallSeconds = elapsedSeconds(start);
   return record;
 }
@@ -154,6 +184,14 @@ SweepReport runComparisonSweep(
   const std::size_t jobs =
       options.jobs == 0 ? ThreadPool::defaultWorkerCount() : options.jobs;
 
+  // Topology-snapshot cache: on by default, MESH_TOPOLOGY_CACHE overrides
+  // the BenchOptions knob either way. Scoped to this sweep — worlds are
+  // shared across the sweep's runs, never across sweeps.
+  const bool cacheEnabled = SnapshotCache::enabledFromEnvironment().value_or(
+      options.topologyCache);
+  std::unique_ptr<SnapshotCache> cache;
+  if (cacheEnabled) cache = std::make_unique<SnapshotCache>();
+
   Aggregator aggregator{protocols, options.topologies};
   ProgressPrinter progress{options.verbose, plans.size()};
 
@@ -165,11 +203,16 @@ SweepReport runComparisonSweep(
 
   if (jobs <= 1) {
     // Legacy serial path: everything on the calling thread, in plan order.
-    for (const RunPlan& plan : plans) finishRun(executePlan(plan));
+    for (const RunPlan& plan : plans) {
+      finishRun(executePlan(plan, cache.get()));
+    }
   } else {
     ThreadPool pool{jobs};
+    SnapshotCache* cachePtr = cache.get();
     for (const RunPlan& plan : plans) {
-      pool.submit([&plan, &finishRun] { finishRun(executePlan(plan)); });
+      pool.submit([&plan, &finishRun, cachePtr] {
+        finishRun(executePlan(plan, cachePtr));
+      });
     }
     pool.wait();
   }
@@ -180,6 +223,11 @@ SweepReport runComparisonSweep(
   report.failures = aggregator.failureCount();
   report.wallSeconds = elapsedSeconds(sweepStart);
   report.jobs = jobs;
+  for (const RunRecord& record : report.records) {
+    report.setupSeconds += record.setupSeconds;
+    if (record.snapshot == "built") ++report.snapshotsBuilt;
+    if (record.snapshot == "reused") ++report.snapshotsReused;
+  }
   return report;
 }
 
@@ -204,6 +252,19 @@ std::vector<ComparisonRow> runProtocolComparison(
   if (options.verbose && report.jobs > 1) {
     std::fprintf(stderr, "[bench] sweep: %zu runs on %zu workers in %.1fs\n",
                  report.records.size(), report.jobs, report.wallSeconds);
+  }
+  if (options.verbose &&
+      (report.snapshotsBuilt > 0 || report.snapshotsReused > 0)) {
+    const std::size_t cached = report.snapshotsBuilt + report.snapshotsReused;
+    const double hitRate =
+        cached > 0 ? 100.0 * static_cast<double>(report.snapshotsReused) /
+                         static_cast<double>(cached)
+                   : 0.0;
+    std::fprintf(stderr,
+                 "[bench] snapshots: %zu built, %zu reused (%.0f%% hit rate), "
+                 "total setup %.2fs\n",
+                 report.snapshotsBuilt, report.snapshotsReused, hitRate,
+                 report.setupSeconds);
   }
   // Surface failed runs even when not verbose: a diverging simulation must
   // fail loudly in the report, not vanish from the averages silently.

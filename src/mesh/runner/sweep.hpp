@@ -20,6 +20,7 @@
 #include "mesh/harness/experiment.hpp"
 #include "mesh/runner/run_plan.hpp"
 #include "mesh/runner/result_sink.hpp"
+#include "mesh/runner/snapshot_cache.hpp"
 
 namespace mesh::runner {
 
@@ -31,11 +32,20 @@ struct SweepReport {
   std::size_t failures{0};
   double wallSeconds{0.0};   // whole-sweep wall clock
   std::size_t jobs{1};       // worker count actually used
+  // Topology-snapshot cache telemetry (DESIGN §14): runs that built and
+  // published a world vs runs that adopted a cached one, and the summed
+  // per-run setup_seconds (the quantity the cache amortizes). Both counts
+  // zero when the cache is off or every scenario was ineligible.
+  std::size_t snapshotsBuilt{0};
+  std::size_t snapshotsReused{0};
+  double setupSeconds{0.0};
 };
 
 // Expands the sweep matrix into per-run plans, invoking `makeScenario`
-// serially in (topology, protocol) order — exactly like the legacy loop —
-// so stateful factories stay deterministic and need not be thread-safe.
+// serially, once per *topology* (the config is topology-determined;
+// protocol/seed/duration are stamped onto a copy per cell) — so stateful
+// factories stay deterministic, need not be thread-safe, and are not
+// re-run per protocol.
 std::vector<RunPlan> buildComparisonPlans(
     const std::vector<harness::ProtocolSpec>& protocols,
     const std::function<harness::ScenarioConfig(std::uint64_t topologySeed)>&
@@ -43,8 +53,14 @@ std::vector<RunPlan> buildComparisonPlans(
     const harness::BenchOptions& options);
 
 // Executes one plan on the current thread, capturing results, telemetry,
-// and any escaped exception.
-RunRecord executePlan(const RunPlan& plan);
+// and any escaped exception. With a non-null `cache` and a
+// snapshot-eligible scenario, the run builds-or-adopts the shared world
+// (byte-identical results either way) and records which in
+// RunRecord::snapshot.
+RunRecord executePlan(const RunPlan& plan, SnapshotCache* cache);
+inline RunRecord executePlan(const RunPlan& plan) {
+  return executePlan(plan, nullptr);
+}
 
 // The full sweep: plan, shard across `options.jobs` workers (0 = one per
 // hardware thread, 1 = serial on the calling thread), stream each

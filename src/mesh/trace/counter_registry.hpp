@@ -21,10 +21,86 @@ namespace mesh::trace {
 
 class CounterRegistry {
  public:
+  CounterRegistry() = default;
+  // The pattern memo holds pointers into slots_'s nodes: rebuild lazily in
+  // the copy rather than aliasing the source's map.
+  CounterRegistry(const CounterRegistry& other)
+      : slots_(other.slots_), slotHint_(other.slotHint_) {}
+  CounterRegistry& operator=(const CounterRegistry& other) {
+    slots_ = other.slots_;
+    pattern_.clear();
+    cursor_ = 0;
+    slotHint_ = other.slotHint_;
+    return *this;
+  }
+  // Map nodes are pointer-stable across moves, so the memo transfers.
+  CounterRegistry(CounterRegistry&&) = default;
+  CounterRegistry& operator=(CounterRegistry&&) = default;
+
   // Registers a live counter slot. The pointee must outlive the registry
   // (slots live in component stats structs owned by the same Simulation).
-  void add(std::string name, const std::uint64_t* slot) {
-    slots_[std::move(name)].push_back(slot);
+  //
+  // Registration is dominated by thousands of components replaying the
+  // same name sequence (every MeshNode registers the identical ~45
+  // counters in the same order), so the registry memoizes the sequence of
+  // map entries it resolved: while the incoming names replay the learned
+  // pattern — including wrapping back to its start for the next component
+  // — each add is one string compare plus a push_back instead of a map
+  // lookup. Any divergence falls back to the map and relearns from there,
+  // so interleaved registrants (gateways, ad-hoc counters) stay correct,
+  // merely slower.
+  void add(std::string_view name, const std::uint64_t* slot) {
+    if (cursor_ < pattern_.size()) {
+      Entry& entry = pattern_[cursor_];
+      // Callers pass string literals, so a replayed sequence usually
+      // presents the exact same data pointer — one compare beats the
+      // memcmp, and the memcmp beats the map walk.
+      if ((entry.literal == name.data() && entry.name->size() == name.size()) ||
+          *entry.name == name) {
+        entry.literal = name.data();
+        entry.series->push_back(slot);
+        ++cursor_;
+        return;
+      }
+      pattern_.resize(cursor_);
+    } else if (!pattern_.empty() &&
+               ((pattern_.front().literal == name.data() &&
+                 pattern_.front().name->size() == name.size()) ||
+                *pattern_.front().name == name)) {
+      pattern_.front().literal = name.data();
+      pattern_.front().series->push_back(slot);
+      cursor_ = 1;
+      return;
+    }
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+      it = slots_.emplace(std::string{name}, std::vector<const std::uint64_t*>{})
+               .first;
+    }
+    if (slotHint_ > 0 && it->second.empty()) it->second.reserve(slotHint_);
+    it->second.push_back(slot);
+    pattern_.push_back(Entry{&it->first, &it->second, name.data()});
+    cursor_ = pattern_.size();
+  }
+
+  // Capacity hint: the caller expects about `count` slots per series
+  // (e.g. one per node). Applied to existing and future series; purely an
+  // allocation optimization, over-estimates just waste a few pointers.
+  void hintSlotsPerSeries(std::size_t count) {
+    slotHint_ = count;
+    for (auto& [name, series] : slots_) series.reserve(count);
+  }
+
+  // Bulk-appends every series of `other` into this registry. The slot
+  // pointers are shared, not copied — both registries then read the same
+  // live counters. One map walk per name instead of one per (component,
+  // name) pair, so a run-level registry can absorb per-domain registries
+  // far cheaper than registering every component twice.
+  void absorb(const CounterRegistry& other) {
+    for (const auto& [name, series] : other.slots_) {
+      auto& mine = slots_[name];
+      mine.insert(mine.end(), series.begin(), series.end());
+    }
   }
 
   // Sum of every slot registered under `name`; 0 for unknown names.
@@ -51,7 +127,20 @@ class CounterRegistry {
   }
 
  private:
+  struct Entry {
+    const std::string* name;
+    std::vector<const std::uint64_t*>* series;
+    // Data pointer of the last string that matched this position — a
+    // cheap identity shortcut for string literals, never dereferenced.
+    const char* literal;
+  };
+
   std::map<std::string, std::vector<const std::uint64_t*>, std::less<>> slots_;
+  // Learned registration sequence (pointers into slots_ nodes, which are
+  // stable under insert and move) and the replay position within it.
+  std::vector<Entry> pattern_;
+  std::size_t cursor_{0};
+  std::size_t slotHint_{0};
 };
 
 }  // namespace mesh::trace

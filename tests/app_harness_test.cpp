@@ -183,7 +183,8 @@ TEST(ExperimentRunner, PairsProtocolsOverSameSeeds) {
       },
       options);
 
-  EXPECT_EQ(built, 4);          // 2 protocols × 2 topologies
+  EXPECT_EQ(built, 2);          // once per topology, not per (topology,
+                                // protocol) — plans copy the base config
   EXPECT_EQ(seeds.size(), 2u);  // both protocols saw the same seeds
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].name, "ODMRP");
